@@ -1,0 +1,52 @@
+//! Construction micro-benchmarks: fields, topologies, layouts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pf_galois::{CubicExt, Gf};
+use pf_topo::{Layout, PolarFly, Singer};
+use std::hint::black_box;
+
+fn bench_field(c: &mut Criterion) {
+    let mut g = c.benchmark_group("field");
+    for q in [9u64, 27, 49, 128] {
+        g.bench_with_input(BenchmarkId::new("gf_tables", q), &q, |b, &q| {
+            b.iter(|| Gf::new(black_box(q)).unwrap())
+        });
+    }
+    for q in [9u64, 27, 49] {
+        g.bench_with_input(BenchmarkId::new("singer_difference_set", q), &q, |b, &q| {
+            b.iter(|| {
+                let ext = CubicExt::new(Gf::new(black_box(q)).unwrap());
+                ext.singer_exponents()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology");
+    g.sample_size(20);
+    for q in [11u64, 19, 27] {
+        g.bench_with_input(BenchmarkId::new("er_projective", q), &q, |b, &q| {
+            b.iter(|| PolarFly::new(black_box(q)))
+        });
+        g.bench_with_input(BenchmarkId::new("singer_graph", q), &q, |b, &q| {
+            b.iter(|| Singer::new(black_box(q)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_layout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layout");
+    for q in [11u64, 19, 27] {
+        let pf = PolarFly::new(q);
+        g.bench_with_input(BenchmarkId::new("algorithm2", q), &pf, |b, pf| {
+            b.iter(|| Layout::new(black_box(pf), None).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_field, bench_topology, bench_layout);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Host-based baseline benchmarks: analytic phase models vs flit-level
+//! executed schedules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pf_simnet::hostbased::{
+    blueconnect_time, rabenseifner_time, recursive_doubling_time, ring_allreduce_time, HostParams,
+};
+use pf_simnet::p2p::{recursive_doubling_sim, ring_allreduce_sim};
+use pf_simnet::routing::Routing;
+use pf_simnet::SimConfig;
+use pf_topo::PolarFly;
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let pf = PolarFly::new(11);
+    let g = pf.graph().clone();
+    let r = Routing::new(&g);
+    let hp = HostParams::default();
+    let m = 10_000u64;
+    let mut grp = c.benchmark_group("hostbased_models");
+    grp.bench_function("ring", |b| {
+        b.iter(|| ring_allreduce_time(black_box(&g), &r, m, hp))
+    });
+    grp.bench_function("recursive_doubling", |b| {
+        b.iter(|| recursive_doubling_time(black_box(&g), &r, m, hp))
+    });
+    grp.bench_function("rabenseifner", |b| {
+        b.iter(|| rabenseifner_time(black_box(&g), &r, m, hp))
+    });
+    grp.bench_function("blueconnect", |b| {
+        b.iter(|| blueconnect_time(black_box(&g), &r, m, hp))
+    });
+    grp.finish();
+}
+
+fn bench_flit_level(c: &mut Criterion) {
+    let pf = PolarFly::new(5);
+    let g = pf.graph().clone();
+    let r = Routing::new(&g);
+    let cfg = SimConfig::default();
+    let mut grp = c.benchmark_group("hostbased_flit");
+    grp.sample_size(10);
+    grp.bench_with_input(BenchmarkId::new("ring_sim", 5), &g, |b, g| {
+        b.iter(|| ring_allreduce_sim(black_box(g), &r, 3100, cfg, 0).unwrap())
+    });
+    grp.bench_with_input(BenchmarkId::new("doubling_sim", 5), &g, |b, g| {
+        b.iter(|| recursive_doubling_sim(black_box(g), &r, 500, cfg, 0).unwrap())
+    });
+    grp.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let pf = PolarFly::new(19);
+    let g = pf.graph().clone();
+    c.bench_function("routing_apsp_q19", |b| b.iter(|| Routing::new(black_box(&g))));
+}
+
+criterion_group!(benches, bench_models, bench_flit_level, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Cycle-level simulator throughput benchmarks: how many simulated cycles
+//! per wall-clock second the engine sustains under each tree set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pf_allreduce::AllreducePlan;
+use pf_simnet::{MultiTreeEmbedding, SimConfig, Simulator, Workload};
+use std::hint::black_box;
+
+fn simulate(plan: &AllreducePlan, m: u64) -> u64 {
+    let sizes = plan.split(m);
+    let emb = MultiTreeEmbedding::new(&plan.graph, &plan.trees, &sizes);
+    let w = Workload::new(plan.graph.num_vertices(), m);
+    let r = Simulator::new(&plan.graph, &emb, SimConfig::default()).run(&w);
+    assert!(r.completed && r.mismatches == 0);
+    r.cycles
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    let m = 4000u64;
+    for q in [5u64, 7, 11] {
+        let low = AllreducePlan::low_depth(q).unwrap();
+        let ham = AllreducePlan::edge_disjoint(q, 30, 1).unwrap();
+        g.throughput(Throughput::Elements(m));
+        g.bench_with_input(BenchmarkId::new("low_depth", q), &low, |b, p| {
+            b.iter(|| simulate(black_box(p), m))
+        });
+        g.bench_with_input(BenchmarkId::new("edge_disjoint", q), &ham, |b, p| {
+            b.iter(|| simulate(black_box(p), m))
+        });
+    }
+    g.finish();
+}
+
+fn bench_embedding_setup(c: &mut Criterion) {
+    let plan = AllreducePlan::low_depth(11).unwrap();
+    let sizes = plan.split(4000);
+    c.bench_function("embedding_setup_q11", |b| {
+        b.iter(|| MultiTreeEmbedding::new(black_box(&plan.graph), black_box(&plan.trees), &sizes))
+    });
+}
+
+criterion_group!(benches, bench_simulator, bench_embedding_setup);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Spanning-tree construction benchmarks: Algorithm 3, alternating-sum
+//! paths, and the §7.3 edge-disjoint search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pf_allreduce::disjoint::find_edge_disjoint;
+use pf_allreduce::hamiltonian::{alternating_path, hamiltonian_pairs_unordered};
+use pf_allreduce::lowdepth::low_depth_trees;
+use pf_topo::{PolarFly, Singer};
+use std::hint::black_box;
+
+fn bench_low_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("low_depth");
+    g.sample_size(20);
+    for q in [11u64, 19, 27] {
+        let pf = PolarFly::new(q);
+        g.bench_with_input(BenchmarkId::new("algorithm3", q), &pf, |b, pf| {
+            b.iter(|| low_depth_trees(black_box(pf), None).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_hamiltonian(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hamiltonian");
+    for q in [11u64, 19, 27] {
+        let s = Singer::new(q);
+        let pairs = hamiltonian_pairs_unordered(&s);
+        g.bench_with_input(BenchmarkId::new("one_path", q), &s, |b, s| {
+            b.iter(|| alternating_path(black_box(s), pairs[0].0, pairs[0].1))
+        });
+        g.bench_with_input(BenchmarkId::new("all_pairs", q), &s, |b, s| {
+            b.iter(|| hamiltonian_pairs_unordered(black_box(s)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_disjoint_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("disjoint_search");
+    g.sample_size(10);
+    for q in [11u64, 19, 27] {
+        let s = Singer::new(q);
+        g.bench_with_input(BenchmarkId::new("random_30", q), &s, |b, s| {
+            b.iter(|| find_edge_disjoint(black_box(s), 30, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_low_depth, bench_hamiltonian, bench_disjoint_search);
+criterion_main!(benches);

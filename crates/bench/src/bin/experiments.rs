@@ -1,0 +1,144 @@
+//! Experiment driver: one subcommand per paper table/figure.
+//!
+//! ```text
+//! cargo run --release -p pf-bench --bin experiments -- <command> [--max-q Q]
+//!
+//! commands:
+//!   table1          Table 1 census (vertex classes)
+//!   fig1            Figure 1 layout statistics (q = 11)
+//!   fig2            Figure 2 Singer difference sets (q = 3, 4)
+//!   table2          Table 2 non-Hamiltonian paths on S_4
+//!   fig4            Figure 4 edge-disjoint Hamiltonian sets (q = 3, 4)
+//!   fig5a           Figure 5a normalized bandwidth sweep
+//!   fig5b           Figure 5b tree depth sweep
+//!   disjoint-sweep  §7.3 random-search sweep (--exact for branch & bound)
+//!   totient         Corollary 7.20 path-count check
+//!   sim-bandwidth   SIM1 simulated vs analytic bandwidth
+//!   sim-crossover   SIM2 latency/bandwidth crossover vs baselines
+//!   sim-split       ablation: optimal vs equal sub-vector split
+//!   sim-buffers     ablation: VC buffer depth vs throughput
+//!   all             everything above
+//! ```
+
+use pf_bench::{sims, sweeps, tables};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt_u64 = |name: &str, default: u64| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    // Sweep ceiling: the paper uses q in [3, 128]; trim with --max-q for a
+    // quick run.
+    let max_q = opt_u64("--max-q", 128);
+    let sim_qs: Vec<u64> = [5u64, 7, 9, 11, 13].into_iter().filter(|&q| q <= max_q).collect();
+
+    let run = |c: &str| match c {
+        "table1" => tables::print_table1(
+            &pf_galois::prime_powers_in(3, max_q.min(31))
+                .into_iter()
+                .filter(|q| q % 2 == 1)
+                .collect::<Vec<_>>(),
+        ),
+        "fig1" => tables::print_fig1(11.min(max_q).max(3) | 1),
+        "fig2" => tables::print_fig2(),
+        "table2" => tables::print_table2(),
+        "fig4" => tables::print_fig4(),
+        "fig5a" => sweeps::print_fig5a(3, max_q),
+        "fig5b" => sweeps::print_fig5b(3, max_q),
+        "disjoint-sweep" => sweeps::print_disjoint_sweep(3, max_q, flag("--exact")),
+        "totient" => sweeps::print_totient(3, max_q),
+        "sim-bandwidth" => sims::print_sim_bandwidth(&sim_qs, opt_u64("--m", 40_000)),
+        "sim-crossover" => sims::print_sim_crossover(
+            11.min(max_q).max(3) | 1,
+            &[1, 16, 256, 1024, 4096, 16_384, 65_536, 262_144],
+        ),
+        "sim-split" => sims::print_sim_split(7, opt_u64("--m", 20_000)),
+        "sim-buffers" => sims::print_sim_buffers(7, opt_u64("--m", 20_000)),
+        "sim-latency" => sims::print_sim_latency(&sim_qs),
+        "sim-hostbased" => sims::print_sim_hostbased(7, &[64, 1024, 16_384, 131_072]),
+        "sim-collectives" => sims::print_sim_collectives(7, opt_u64("--m", 20_000)),
+        "ablation-naive" => sims::print_ablation_naive(&sim_qs),
+        "ablation-logical" => sims::print_ablation_logical(&sim_qs),
+        "vc-report" => sims::print_vc_report(&sim_qs),
+        "sim-injection" => sims::print_sim_injection(7, opt_u64("--m", 20_000)),
+        "evenq-search" => sims::print_evenq_search(opt_u64("--attempts", 500) as usize),
+        "torus-compare" => sims::print_torus_compare(opt_u64("--m", 200_000)),
+        "starters" => sims::print_starters(opt_u64("--q", 11)),
+        "metrics" => sweeps::print_metrics(&pf_galois::prime_powers_in(3, max_q.min(32))),
+        "csv" => {
+            let dir = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("results");
+            let written = pf_bench::csv::write_all(std::path::Path::new(dir), max_q.min(32))
+                .expect("write csv");
+            println!("wrote {} CSV series to {dir}/:", written.len());
+            for p in written {
+                println!("  {}", p.display());
+            }
+        }
+        "dot" => {
+            let dir = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("figures");
+            let written = pf_bench::figures::write_figures(std::path::Path::new(dir))
+                .expect("write figures");
+            println!("wrote {} DOT figures to {dir}/:", written.len());
+            for p in written {
+                println!("  {}", p.display());
+            }
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            eprintln!("known: table1 fig1 fig2 table2 fig4 fig5a fig5b disjoint-sweep totient");
+            eprintln!("       sim-bandwidth sim-crossover sim-split sim-buffers all");
+            std::process::exit(2);
+        }
+    };
+
+    if cmd == "all" {
+        for c in [
+            "table1",
+            "fig1",
+            "fig2",
+            "table2",
+            "fig4",
+            "fig5a",
+            "fig5b",
+            "disjoint-sweep",
+            "totient",
+            "sim-bandwidth",
+            "sim-crossover",
+            "sim-split",
+            "sim-buffers",
+            "sim-latency",
+            "sim-hostbased",
+            "sim-collectives",
+            "ablation-naive",
+            "ablation-logical",
+            "vc-report",
+            "sim-injection",
+            "evenq-search",
+            "torus-compare",
+            "starters",
+            "metrics",
+            "dot",
+            "csv",
+        ] {
+            run(c);
+        }
+    } else {
+        run(cmd);
+    }
+}

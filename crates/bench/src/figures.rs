@@ -1,0 +1,187 @@
+//! Graphviz (DOT) renderings of the paper's graph figures.
+//!
+//! `experiments -- dot [--out DIR]` writes:
+//!
+//! * `singer_q3.dot`, `singer_q4.dot` — Figure 2's Singer graphs with
+//!   edges colored by edge sum and reflection points filled,
+//! * `hamiltonian_q3.dot`, `hamiltonian_q4.dot` — Figure 4's edge-disjoint
+//!   Hamiltonian path sets (one color pair per path, unused edges gray),
+//! * `layout_q5.dot` — Figure 1-style cluster layout of `ER_5`.
+//!
+//! Render with e.g. `circo -Tsvg singer_q3.dot -o singer_q3.svg`.
+
+use pf_allreduce::disjoint::find_edge_disjoint;
+use pf_topo::{Layout, PolarFly, Singer};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A small palette matching the figures' feel; cycled when more colors
+/// than entries are needed.
+const PALETTE: [&str; 8] =
+    ["red", "green3", "blue", "cyan3", "orange", "purple", "brown", "gray40"];
+
+fn color_of(idx: usize) -> &'static str {
+    PALETTE[idx % PALETTE.len()]
+}
+
+/// DOT for the Singer graph `S_q`, edges colored by difference-set edge
+/// sum, reflection points (quadrics) filled with their self-loop color.
+pub fn singer_dot(q: u64) -> String {
+    let s = Singer::new(q);
+    let mut out = String::new();
+    writeln!(out, "// Singer graph S_{q}: N = {}, D = {:?}", s.n(), s.difference_set()).unwrap();
+    writeln!(out, "graph singer_q{q} {{").unwrap();
+    writeln!(out, "  layout=circo; node [shape=circle, fontsize=10];").unwrap();
+    let color_index =
+        |d: u64| s.difference_set().iter().position(|&x| x == d).unwrap();
+    for v in s.graph().vertices() {
+        if s.is_reflection(v) {
+            let d = (2 * v as u64) % s.n();
+            writeln!(
+                out,
+                "  {v} [style=filled, fillcolor={}, fontcolor=white];",
+                color_of(color_index(d))
+            )
+            .unwrap();
+        } else {
+            writeln!(out, "  {v};").unwrap();
+        }
+    }
+    for (e, u, v) in s.graph().edges() {
+        let d = s.edge_sum(e);
+        writeln!(out, "  {u} -- {v} [color={}];", color_of(color_index(d))).unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+/// DOT for a maximal set of edge-disjoint Hamiltonian paths on `S_q`:
+/// each path drawn in its two alternating colors, unused edges in gray.
+pub fn hamiltonian_dot(q: u64, seed: u64) -> String {
+    let s = Singer::new(q);
+    let sol = find_edge_disjoint(&s, 30, seed);
+    let mut edge_owner: Vec<Option<usize>> = vec![None; s.graph().num_edges() as usize];
+    for (pi, t) in sol.trees.iter().enumerate() {
+        for id in t.edge_ids(s.graph()) {
+            edge_owner[id as usize] = Some(pi);
+        }
+    }
+    let mut out = String::new();
+    writeln!(out, "// {} edge-disjoint Hamiltonian paths on S_{q}: pairs {:?}", sol.pairs.len(), sol.pairs).unwrap();
+    writeln!(out, "graph hamiltonian_q{q} {{").unwrap();
+    writeln!(out, "  layout=circo; node [shape=circle, fontsize=10];").unwrap();
+    for v in s.graph().vertices() {
+        writeln!(out, "  {v};").unwrap();
+    }
+    for (e, u, v) in s.graph().edges() {
+        match edge_owner[e as usize] {
+            Some(pi) => {
+                // Distinguish the path's two alternating sums.
+                let (d0, d1) = sol.pairs[pi];
+                let d = s.edge_sum(e);
+                let shade = if d == d0 { color_of(2 * pi) } else { color_of(2 * pi + 1) };
+                debug_assert!(d == d0 || d == d1);
+                writeln!(out, "  {u} -- {v} [color={shade}, penwidth=2];").unwrap();
+            }
+            None => writeln!(out, "  {u} -- {v} [color=gray80, style=dashed];").unwrap(),
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+/// DOT for the PolarFly layout: clusters boxed, quadrics marked.
+pub fn layout_dot(q: u64) -> String {
+    let pf = PolarFly::new(q);
+    let layout = Layout::new(&pf, None).expect("odd q");
+    let mut out = String::new();
+    writeln!(out, "// PolarFly ER_{q} layout: starter quadric {}", layout.starter()).unwrap();
+    writeln!(out, "graph layout_q{q} {{").unwrap();
+    writeln!(out, "  node [shape=circle, fontsize=9];").unwrap();
+    writeln!(out, "  subgraph cluster_W {{ label=\"W\"; style=filled; color=mistyrose;").unwrap();
+    for &w in layout.quadrics() {
+        let style = if w == layout.starter() { ", fillcolor=red, style=filled" } else { "" };
+        writeln!(out, "    {w} [color=red{style}];").unwrap();
+    }
+    writeln!(out, "  }}").unwrap();
+    for (i, c) in layout.clusters().iter().enumerate() {
+        writeln!(out, "  subgraph cluster_C{i} {{ label=\"C_{i}\"; color=gray;").unwrap();
+        for &m in &c.members {
+            let style = if m == c.center { " [color=green3, style=filled, fillcolor=palegreen]" } else { "" };
+            writeln!(out, "    {m}{style};").unwrap();
+        }
+        writeln!(out, "  }}").unwrap();
+    }
+    for (_, u, v) in pf.graph().edges() {
+        writeln!(out, "  {u} -- {v} [color=gray70];").unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+/// Writes all figure DOT files into `dir`.
+pub fn write_figures(dir: &Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for (name, content) in [
+        ("singer_q3.dot", singer_dot(3)),
+        ("singer_q4.dot", singer_dot(4)),
+        ("hamiltonian_q3.dot", hamiltonian_dot(3, 0xF16)),
+        ("hamiltonian_q4.dot", hamiltonian_dot(4, 0xF16)),
+        ("layout_q5.dot", layout_dot(5)),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, content)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singer_dot_mentions_every_edge() {
+        let dot = singer_dot(3);
+        let s = Singer::new(3);
+        assert_eq!(dot.matches(" -- ").count() as u32, s.graph().num_edges());
+        assert!(dot.contains("graph singer_q3"));
+        // 4 reflection points are filled.
+        assert_eq!(dot.matches("style=filled").count(), 4);
+    }
+
+    #[test]
+    fn hamiltonian_dot_uses_all_edges_q3() {
+        // q = 3: both paths together cover every edge -> no gray edges.
+        let dot = hamiltonian_dot(3, 1);
+        assert!(!dot.contains("gray80"));
+    }
+
+    #[test]
+    fn hamiltonian_dot_leaves_unused_color_q4() {
+        // q = 4: one color class unused -> exactly (N-1)/2 = 10 gray edges.
+        let dot = hamiltonian_dot(4, 1);
+        assert_eq!(dot.matches("gray80").count(), 10);
+    }
+
+    #[test]
+    fn layout_dot_has_all_clusters() {
+        let dot = layout_dot(5);
+        for i in 0..5 {
+            assert!(dot.contains(&format!("cluster_C{i}")));
+        }
+        assert!(dot.contains("cluster_W"));
+    }
+
+    #[test]
+    fn write_figures_to_tempdir() {
+        let dir = std::env::temp_dir().join("pf_figures_test");
+        let written = write_figures(&dir).unwrap();
+        assert_eq!(written.len(), 5);
+        for p in written {
+            assert!(p.exists());
+            std::fs::remove_file(p).ok();
+        }
+    }
+}

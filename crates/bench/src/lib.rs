@@ -1,0 +1,18 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each experiment is a pure function returning structured rows (so the
+//! integration tests can assert on them) plus a printer producing the
+//! table the paper reports. The `experiments` binary dispatches on a
+//! subcommand per artifact — see DESIGN.md's per-experiment index.
+
+pub mod csv;
+pub mod figures;
+pub mod par;
+pub mod sims;
+pub mod sweeps;
+pub mod tables;
+
+/// Prints a header line followed by a rule of matching width.
+pub fn print_header(title: &str) {
+    println!("\n== {title} ==");
+}

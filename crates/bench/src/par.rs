@@ -1,0 +1,74 @@
+//! Small fork-join helper for embarrassingly parallel radix sweeps.
+//!
+//! The Figure 5 / §7.3 sweeps evaluate 43 independent prime powers; each
+//! point builds its own topology and trees, so they parallelize trivially.
+//! Workers steal indices from a shared atomic cursor (crossbeam scoped
+//! threads), and results land in order.
+
+use crossbeam::thread;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on a scoped worker pool, preserving input
+/// order in the output. `f` must be `Sync` (it runs concurrently).
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let out: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                out.lock().unwrap()[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    out.into_inner().unwrap().into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn heavier_work_matches_serial() {
+        let qs = pf_galois::prime_powers_in(3, 16);
+        let par = parallel_map(&qs, |&q| {
+            pf_topo::PolarFly::new(q).graph().num_edges()
+        });
+        let ser: Vec<u32> =
+            qs.iter().map(|&q| pf_topo::PolarFly::new(q).graph().num_edges()).collect();
+        assert_eq!(par, ser);
+    }
+}

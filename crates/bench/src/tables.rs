@@ -1,0 +1,293 @@
+//! Table 1, Figure 1 (+Properties 1–3), Figure 2, Table 2, Figure 4.
+
+use pf_allreduce::disjoint::{self, DisjointSolution};
+use pf_allreduce::hamiltonian;
+use pf_graph::tree::pairwise_edge_disjoint;
+use pf_topo::{classify, Layout, PolarFly, Singer, VertexClass};
+
+/// One row of Table 1: global class counts and per-class neighbor profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    pub q: u64,
+    pub counts: (usize, usize, usize),
+    pub quadric_profile: (usize, usize, usize),
+    pub v1_profile: (usize, usize, usize),
+    pub v2_profile: (usize, usize, usize),
+}
+
+/// Computes the Table 1 census for one odd prime power, verifying that
+/// every vertex of a class has the same neighbor profile.
+pub fn table1_row(q: u64) -> Table1Row {
+    let pf = PolarFly::new(q);
+    let quad: Vec<bool> = pf.graph().vertices().map(|v| pf.is_quadric(v)).collect();
+    let cls = classify(pf.graph(), &quad);
+    let profile_of = |class: VertexClass| {
+        let members = cls.of_class(class);
+        let first = cls.neighbor_counts(pf.graph(), members[0]);
+        for &v in &members {
+            assert_eq!(
+                cls.neighbor_counts(pf.graph(), v),
+                first,
+                "q={q}: class {class:?} is not neighbor-profile homogeneous"
+            );
+        }
+        first
+    };
+    Table1Row {
+        q,
+        counts: cls.counts(),
+        quadric_profile: profile_of(VertexClass::Quadric),
+        v1_profile: profile_of(VertexClass::V1),
+        v2_profile: profile_of(VertexClass::V2),
+    }
+}
+
+/// Prints Table 1 for a list of radixes.
+pub fn print_table1(qs: &[u64]) {
+    crate::print_header("Table 1: vertex classes and neighborhood profiles");
+    println!("{:>5} {:>6} {:>8} {:>8}   per-vertex neighbors (W, V1, V2)", "q", "|W|", "|V1|", "|V2|");
+    for &q in qs {
+        let r = table1_row(q);
+        println!(
+            "{:>5} {:>6} {:>8} {:>8}   W:{:?}  V1:{:?}  V2:{:?}",
+            q, r.counts.0, r.counts.1, r.counts.2, r.quadric_profile, r.v1_profile, r.v2_profile
+        );
+        // Paper values.
+        assert_eq!(r.counts, ((q + 1) as usize, (q * (q + 1) / 2) as usize, (q * (q - 1) / 2) as usize));
+        assert_eq!(r.quadric_profile, (0, q as usize, 0));
+        assert_eq!(r.v1_profile, (2, ((q - 1) / 2) as usize, ((q - 1) / 2) as usize));
+        assert_eq!(r.v2_profile, (0, q.div_ceil(2) as usize, q.div_ceil(2) as usize));
+    }
+    println!("(all rows verified against the closed forms of Table 1)");
+}
+
+/// Layout statistics backing Figure 1 (drawn for q = 11 in the paper).
+#[derive(Debug, Clone)]
+pub struct Fig1Stats {
+    pub q: u64,
+    pub cluster_sizes: Vec<usize>,
+    pub edges_within_cluster: usize,
+    pub edges_w_to_cluster: usize,
+    pub edges_between_clusters: usize,
+}
+
+/// Computes the Figure 1 layout statistics and verifies Properties 1–3.
+pub fn fig1_stats(q: u64) -> Fig1Stats {
+    let pf = PolarFly::new(q);
+    let layout = Layout::new(&pf, None).unwrap();
+    layout.verify_property1(&pf).unwrap();
+    layout.verify_property2(&pf).unwrap();
+    layout.verify_property3(&pf).unwrap();
+    layout.verify_center_quadric_bijection().unwrap();
+
+    let g = pf.graph();
+    let c0 = &layout.clusters()[0];
+    let within = c0
+        .members
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &u)| c0.members[i + 1..].iter().map(move |&v| (u, v)))
+        .filter(|&(u, v)| g.has_edge(u, v))
+        .count();
+    let w_to_c = layout
+        .quadrics()
+        .iter()
+        .flat_map(|&w| c0.members.iter().map(move |&m| (w, m)))
+        .filter(|&(w, m)| g.has_edge(w, m))
+        .count();
+    let c1 = &layout.clusters()[1];
+    let between = c0
+        .members
+        .iter()
+        .flat_map(|&u| c1.members.iter().map(move |&v| (u, v)))
+        .filter(|&(u, v)| g.has_edge(u, v))
+        .count();
+    Fig1Stats {
+        q,
+        cluster_sizes: layout.clusters().iter().map(|c| c.members.len()).collect(),
+        edges_within_cluster: within,
+        edges_w_to_cluster: w_to_c,
+        edges_between_clusters: between,
+    }
+}
+
+/// Prints the Figure 1 layout census.
+pub fn print_fig1(q: u64) {
+    crate::print_header(&format!("Figure 1: PolarFly layout for q = {q}"));
+    let s = fig1_stats(q);
+    println!("clusters: {} of sizes {:?}", s.cluster_sizes.len(), s.cluster_sizes);
+    println!("edges inside C_0:        {} (center + intra-cluster)", s.edges_within_cluster);
+    println!("edges between W and C_0: {} (Property 2: q + 1 = {})", s.edges_w_to_cluster, q + 1);
+    println!("edges between C_0, C_1:  {} (Property 3: q - 2 = {})", s.edges_between_clusters, q - 2);
+    println!("Properties 1-3 and the center-quadric bijection verified.");
+}
+
+/// Figure 2 data: difference set, reflection points, difference table.
+#[derive(Debug, Clone)]
+pub struct Fig2Data {
+    pub q: u64,
+    pub n: u64,
+    pub dset: Vec<u64>,
+    pub reflection_points: Vec<u32>,
+}
+
+/// Computes the Figure 2 artifacts for one radix.
+pub fn fig2_data(q: u64) -> Fig2Data {
+    let s = Singer::new(q);
+    Fig2Data {
+        q,
+        n: s.n(),
+        dset: s.difference_set().to_vec(),
+        reflection_points: s.reflection_points(),
+    }
+}
+
+/// Prints Figure 2's difference sets and tables for q = 3 and q = 4.
+pub fn print_fig2() {
+    crate::print_header("Figure 2: Singer difference sets and graphs");
+    for q in [3u64, 4] {
+        let d = fig2_data(q);
+        println!("\nq = {q}: N = {}, D = {:?}, reflection points (quadrics) = {:?}", d.n, d.dset, d.reflection_points);
+        // Difference table: rows/cols indexed by D, cells (di - dj) mod N.
+        print!("{:>5} |", "-");
+        for &dj in &d.dset {
+            print!("{dj:>5}");
+        }
+        println!();
+        println!("{}", "-".repeat(7 + 5 * d.dset.len()));
+        for &di in &d.dset {
+            print!("{di:>5} |");
+            for &dj in &d.dset {
+                if di == dj {
+                    print!("{:>5}", "*");
+                } else {
+                    print!("{:>5}", (di + d.n - dj) % d.n);
+                }
+            }
+            println!();
+        }
+    }
+    println!("\n(every residue 1..N-1 appears exactly once per table — verified at construction)");
+}
+
+/// One row of Table 2: a non-Hamiltonian maximal alternating-sum path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table2Row {
+    pub d0: u64,
+    pub d1: u64,
+    pub gcd: u64,
+    pub k: usize,
+    pub source: u32,
+    pub sink: u32,
+}
+
+/// Computes Table 2 (all non-Hamiltonian maximal alternating-sum paths)
+/// for any radix; the paper shows `q = 4`.
+pub fn table2_rows(q: u64) -> Vec<Table2Row> {
+    let s = Singer::new(q);
+    let n = s.n();
+    let mut rows: Vec<Table2Row> = hamiltonian::non_hamiltonian_paths(&s)
+        .into_iter()
+        .map(|p| Table2Row {
+            d0: p.d0,
+            d1: p.d1,
+            gcd: pf_galois::zmod::gcd(pf_galois::zmod::sub_mod(p.d0, p.d1, n), n),
+            k: p.len(),
+            source: p.source(),
+            sink: p.sink(),
+        })
+        .collect();
+    rows.sort_by_key(|r| (r.d0, r.d1));
+    rows
+}
+
+/// Prints Table 2 for `q = 4` and asserts the paper's rows.
+pub fn print_table2() {
+    crate::print_header("Table 2: non-Hamiltonian maximal alternating-sum paths on S_4");
+    let rows = table2_rows(4);
+    println!("{:>4} {:>4} {:>12} {:>4} {:>6} {:>6}", "d0", "d1", "gcd(d0-d1,N)", "k", "b_1", "b_k");
+    for r in &rows {
+        println!("{:>4} {:>4} {:>12} {:>4} {:>6} {:>6}", r.d0, r.d1, r.gcd, r.k, r.source, r.sink);
+    }
+    let expect = [
+        (0, 14, 7, 3, 7, 0),
+        (1, 4, 3, 7, 2, 11),
+        (1, 16, 3, 7, 8, 11),
+        (4, 16, 3, 7, 8, 2),
+    ];
+    assert_eq!(
+        rows.iter().map(|r| (r.d0, r.d1, r.gcd, r.k as u64, r.source as u64, r.sink as u64)).collect::<Vec<_>>(),
+        expect.map(|(a, b, c, d, e, f)| (a, b, c, d as u64, e, f)).to_vec()
+    );
+    println!("(matches the paper's Table 2 exactly)");
+}
+
+/// Figure 4 data: a maximal set of edge-disjoint Hamiltonian paths.
+pub fn fig4_solution(q: u64) -> DisjointSolution {
+    let s = Singer::new(q);
+    let sol = disjoint::find_edge_disjoint(&s, 30, 0xF164);
+    assert!(pairwise_edge_disjoint(&sol.trees, s.graph()));
+    sol
+}
+
+/// Prints Figure 4's maximal edge-disjoint Hamiltonian sets for q = 3, 4.
+pub fn print_fig4() {
+    crate::print_header("Figure 4: maximal sets of edge-disjoint Hamiltonian paths");
+    for q in [3u64, 4] {
+        let sol = fig4_solution(q);
+        let bound = DisjointSolution::upper_bound(q);
+        println!("\nq = {q}: {} edge-disjoint Hamiltonian paths (upper bound {bound}):", sol.pairs.len());
+        for (pair, path) in sol.pairs.iter().zip(&sol.paths) {
+            println!("  colors (d0={}, d1={}): {:?}", pair.0, pair.1, path.vertices);
+        }
+        assert_eq!(sol.pairs.len(), bound);
+        // q = 3 uses every edge; q = 4 leaves one color class unused.
+        let s = Singer::new(q);
+        let used: usize = sol.trees.iter().map(|t| t.edges().count()).sum();
+        let total = s.graph().num_edges() as usize;
+        println!("  edges used: {used}/{total}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_match_closed_forms() {
+        for q in [3u64, 5, 7, 11] {
+            let r = table1_row(q);
+            assert_eq!(r.counts.0 as u64, q + 1);
+            assert_eq!(r.v1_profile.0, 2);
+        }
+    }
+
+    #[test]
+    fn fig1_matches_properties() {
+        let s = fig1_stats(11);
+        assert_eq!(s.cluster_sizes, vec![11; 11]);
+        assert_eq!(s.edges_w_to_cluster, 12);
+        assert_eq!(s.edges_between_clusters, 9);
+        // Within a cluster: center adjacent to all q-1 others, plus any
+        // intra-cluster edges among non-centers.
+        assert!(s.edges_within_cluster >= 10);
+    }
+
+    #[test]
+    fn table2_q4_exact() {
+        let rows = table2_rows(4);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], Table2Row { d0: 0, d1: 14, gcd: 7, k: 3, source: 7, sink: 0 });
+    }
+
+    #[test]
+    fn table2_prime_n_is_empty() {
+        assert!(table2_rows(3).is_empty());
+    }
+
+    #[test]
+    fn fig4_solutions_optimal() {
+        assert_eq!(fig4_solution(3).pairs.len(), 2);
+        assert_eq!(fig4_solution(4).pairs.len(), 2);
+    }
+}

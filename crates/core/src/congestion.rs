@@ -1,0 +1,236 @@
+//! Algorithm 1 — performance under congestion.
+//!
+//! Given a network and a set of embedded allreduce trees, repeatedly find
+//! the bottleneck link (minimum remaining-bandwidth / congestion ratio),
+//! assign that ratio as the bandwidth of every still-unassigned tree using
+//! the link, and subtract the consumed bandwidth from all links those trees
+//! touch. The paper notes the result is independent of tie-breaking among
+//! bottleneck candidates; we break ties deterministically by edge id.
+
+use crate::rational::Rational;
+use pf_graph::{Graph, RootedTree};
+
+/// Per-tree bandwidth assignment computed by Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct BandwidthAssignment {
+    /// Bandwidth `B_i` per tree, in the same order as the input set.
+    pub per_tree: Vec<Rational>,
+    /// Worst-case link congestion over the whole embedding.
+    pub max_congestion: u32,
+}
+
+impl BandwidthAssignment {
+    /// Aggregate allreduce bandwidth `Σ B_i` (Theorem 5.1).
+    pub fn aggregate(&self) -> Rational {
+        self.per_tree.iter().copied().fold(Rational::ZERO, |a, b| a + b)
+    }
+
+    /// Minimum per-tree bandwidth.
+    pub fn min_tree(&self) -> Rational {
+        self.per_tree.iter().copied().min().unwrap_or(Rational::ZERO)
+    }
+}
+
+/// Runs Algorithm 1: computes the bandwidth of each tree in `trees` when
+/// embedded concurrently in `g` with uniform link bandwidth
+/// `link_bandwidth`.
+///
+/// Every tree must be a validated spanning tree of `g` (panics otherwise —
+/// validate with [`RootedTree::validate_spanning`] first).
+///
+/// ```
+/// use pf_allreduce::congestion::assign_unit_bandwidth;
+/// use pf_graph::{Graph, RootedTree};
+/// let mut g = Graph::new(3);
+/// g.add_edge(0, 1); g.add_edge(1, 2); g.add_edge(0, 2);
+/// let t = RootedTree::from_path(&[0, 1, 2], 0).unwrap();
+/// // Two copies of the same tree share every link: 1/2 each.
+/// let a = assign_unit_bandwidth(&g, &[t.clone(), t]);
+/// assert_eq!(a.aggregate().to_string(), "1");
+/// assert_eq!(a.max_congestion, 2);
+/// ```
+pub fn assign_bandwidth(
+    g: &Graph,
+    trees: &[RootedTree],
+    link_bandwidth: Rational,
+) -> BandwidthAssignment {
+    let ne = g.num_edges() as usize;
+    let nt = trees.len();
+    // Tree -> edge-id list; edge -> trees containing it.
+    let tree_edges: Vec<Vec<u32>> = trees.iter().map(|t| t.edge_ids(g)).collect();
+    let mut edge_trees: Vec<Vec<usize>> = vec![Vec::new(); ne];
+    for (ti, ids) in tree_edges.iter().enumerate() {
+        for &e in ids {
+            edge_trees[e as usize].push(ti);
+        }
+    }
+
+    let mut avail = vec![link_bandwidth; ne]; // L(e)
+    let mut congestion: Vec<u32> =
+        edge_trees.iter().map(|ts| ts.len() as u32).collect(); // C(e)
+    let max_congestion = congestion.iter().copied().max().unwrap_or(0);
+
+    let mut bw = vec![Rational::ZERO; nt];
+    let mut assigned = vec![false; nt];
+    let mut edge_alive: Vec<bool> = congestion.iter().map(|&c| c > 0).collect();
+    let mut remaining = nt;
+
+    while remaining > 0 {
+        // e_min = argmin L(e) / C(e) over live edges.
+        let mut best: Option<(Rational, usize)> = None;
+        for e in 0..ne {
+            if !edge_alive[e] || congestion[e] == 0 {
+                continue;
+            }
+            let ratio = avail[e] / Rational::from_int(congestion[e] as i64);
+            match best {
+                Some((b, _)) if b <= ratio => {}
+                _ => best = Some((ratio, e)),
+            }
+        }
+        let (share, emin) = best.expect("unassigned trees must still cover live edges");
+
+        // Assign `share` to every unassigned tree through emin, then
+        // release that bandwidth on all their links.
+        let through: Vec<usize> = edge_trees[emin]
+            .iter()
+            .copied()
+            .filter(|&ti| !assigned[ti])
+            .collect();
+        debug_assert!(!through.is_empty());
+        for ti in through {
+            bw[ti] = share;
+            assigned[ti] = true;
+            remaining -= 1;
+            for &e in &tree_edges[ti] {
+                avail[e as usize] -= share;
+                congestion[e as usize] -= 1;
+            }
+        }
+        edge_alive[emin] = false;
+    }
+
+    BandwidthAssignment { per_tree: bw, max_congestion }
+}
+
+/// Convenience wrapper with unit link bandwidth.
+pub fn assign_unit_bandwidth(g: &Graph, trees: &[RootedTree]) -> BandwidthAssignment {
+    assign_bandwidth(g, trees, Rational::ONE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_graph::Graph;
+
+    fn cycle(n: u32) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    #[test]
+    fn single_tree_gets_full_link_bandwidth() {
+        let g = cycle(4);
+        let t = RootedTree::from_path(&[0, 1, 2, 3], 0).unwrap();
+        let a = assign_unit_bandwidth(&g, &[t]);
+        assert_eq!(a.per_tree, vec![Rational::ONE]);
+        assert_eq!(a.aggregate(), Rational::ONE);
+        assert_eq!(a.max_congestion, 1);
+    }
+
+    #[test]
+    fn two_disjoint_trees_get_full_bandwidth_each() {
+        // C4 splits into two edge-disjoint spanning trees (paths).
+        let g = cycle(4);
+        let t1 = RootedTree::from_path(&[0, 1, 2, 3], 0).unwrap(); // edges 01,12,23
+        let t2 = RootedTree::from_path(&[1, 0, 3, 2], 0).unwrap(); // edges 01?? no: 10,03,32
+        // t2 uses edge (0,1) as well — so craft disjoint: star-ish unavailable on C4.
+        // Instead check overlap behavior below; here use two copies of the
+        // SAME path edges reversed, which fully overlap:
+        let a = assign_unit_bandwidth(&g, &[t1.clone(), t1.clone()]);
+        assert_eq!(a.per_tree, vec![Rational::new(1, 2), Rational::new(1, 2)]);
+        assert_eq!(a.aggregate(), Rational::ONE);
+        assert_eq!(a.max_congestion, 2);
+        let _ = t2;
+    }
+
+    #[test]
+    fn partial_overlap_water_filling() {
+        // C4: t1 = path 0-1-2-3 (edges 01,12,23), t2 = path 1-0-3-2 (edges 01,03,23).
+        // Overlap on edges 01 and 23 (congestion 2); each tree gets 1/2,
+        // leaving 1/2 unused on its private edge.
+        let g = cycle(4);
+        let t1 = RootedTree::from_path(&[0, 1, 2, 3], 0).unwrap();
+        let t2 = RootedTree::from_path(&[1, 0, 3, 2], 0).unwrap();
+        let a = assign_unit_bandwidth(&g, &[t1, t2]);
+        assert_eq!(a.per_tree, vec![Rational::new(1, 2), Rational::new(1, 2)]);
+        assert_eq!(a.aggregate(), Rational::ONE);
+        assert_eq!(a.max_congestion, 2);
+    }
+
+    #[test]
+    fn asymmetric_overlap() {
+        // Path graph 0-1-2 plus chord? Use K3: trees t1 = 0-1-2 path
+        // (edges 01,12), t2 = 1-0, 0-2 star at 0 (edges 01,02).
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        let t1 = RootedTree::from_path(&[0, 1, 2], 0).unwrap();
+        let t2 = RootedTree::from_parents(0, vec![None, Some(0), Some(0)]).unwrap();
+        let t3 = RootedTree::from_parents(2, vec![Some(2), Some(0), None]).unwrap(); // edges 02,01
+        // t1: {01,12}, t2: {01,02}, t3: {01,02}: edge 01 congestion 3.
+        let a = assign_unit_bandwidth(&g, &[t1, t2, t3]);
+        assert_eq!(a.per_tree, vec![Rational::new(1, 3); 3]);
+        assert_eq!(a.max_congestion, 3);
+        assert_eq!(a.aggregate(), Rational::ONE);
+    }
+
+    #[test]
+    fn waterfill_gives_leftover_to_uncongested_tree() {
+        // K4. t1 and t2 share one edge; t3 edge-disjoint from both.
+        let mut g = Graph::new(4);
+        for u in 0..4 {
+            for v in u + 1..4 {
+                g.add_edge(u, v);
+            }
+        }
+        // t1: star at 0 (01, 02, 03); t2: path 1-0, 0-2, 2-3 -> (01, 02, 23);
+        // t3: path 2-1, 1-3, 3-0 -> (12, 13, 03)? 03 overlaps t1. Choose
+        // t3: 1-2, 1-3 star at 1 plus 3-0? parent: 0<-3, 2<-1, 3<-1, root 1:
+        // edges (12, 13, 03).
+        let t1 = RootedTree::from_parents(0, vec![None, Some(0), Some(0), Some(0)]).unwrap();
+        let t2 =
+            RootedTree::from_parents(0, vec![None, Some(0), Some(0), Some(2)]).unwrap();
+        let t3 =
+            RootedTree::from_parents(1, vec![Some(3), None, Some(1), Some(1)]).unwrap();
+        let a = assign_unit_bandwidth(&g, &[t1, t2, t3]);
+        // t1,t2 congestion-2 on (0,1) and (0,2): each gets 1/2.
+        // t3 overlaps t1 on (0,3): after t1 takes 1/2 there, t3 gets 1/2.
+        assert_eq!(
+            a.per_tree,
+            vec![Rational::new(1, 2), Rational::new(1, 2), Rational::new(1, 2)]
+        );
+        assert_eq!(a.aggregate(), Rational::new(3, 2));
+    }
+
+    #[test]
+    fn scales_with_link_bandwidth() {
+        let g = cycle(4);
+        let t = RootedTree::from_path(&[0, 1, 2, 3], 0).unwrap();
+        let a = assign_bandwidth(&g, &[t.clone(), t], Rational::from_int(10));
+        assert_eq!(a.per_tree, vec![Rational::from_int(5); 2]);
+    }
+
+    #[test]
+    fn empty_tree_set() {
+        let g = cycle(3);
+        let a = assign_unit_bandwidth(&g, &[]);
+        assert!(a.per_tree.is_empty());
+        assert_eq!(a.aggregate(), Rational::ZERO);
+        assert_eq!(a.max_congestion, 0);
+    }
+}

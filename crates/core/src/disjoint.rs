@@ -1,0 +1,210 @@
+//! Maximal sets of edge-disjoint Hamiltonian paths (§7.2–7.3).
+//!
+//! A `(d0, d1)` alternating-sum path only uses edges of colors `d0` and
+//! `d1`, so two Hamiltonian paths over disjoint color pairs are edge
+//! disjoint. Finding the most simultaneous paths is therefore an
+//! independent-set problem in the *conflict graph* `G_S` whose vertices are
+//! Hamiltonian color pairs and whose edges join pairs sharing a color.
+//!
+//! The upper bound is `⌊(q+1)/2⌋` trees (Lemma 7.18); the paper reports
+//! that random maximal independent sets reach it within 30 attempts for
+//! every prime power `q < 128`, which the `disjoint-sweep` experiment
+//! reproduces.
+
+use crate::hamiltonian::{alternating_path, hamiltonian_pairs_unordered, AltPath};
+use pf_graph::{indset, Graph, RootedTree};
+use pf_topo::Singer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A set of pairwise edge-disjoint Hamiltonian paths and their trees.
+#[derive(Debug, Clone)]
+pub struct DisjointSolution {
+    /// The chosen unordered color pairs.
+    pub pairs: Vec<(u64, u64)>,
+    /// The corresponding alternating-sum Hamiltonian paths.
+    pub paths: Vec<AltPath>,
+    /// Midpoint-rooted spanning trees (Lemma 7.17) of the paths.
+    pub trees: Vec<RootedTree>,
+    /// Random maximal-independent-set attempts consumed (1 if exact search).
+    pub attempts_used: usize,
+}
+
+impl DisjointSolution {
+    /// The optimal tree count `⌊(q+1)/2⌋` (Lemma 7.18).
+    pub fn upper_bound(q: u64) -> usize {
+        q.div_ceil(2) as usize
+    }
+
+    /// `true` iff this solution attains the Lemma 7.18 upper bound.
+    pub fn is_optimal(&self, q: u64) -> bool {
+        self.pairs.len() >= Self::upper_bound(q)
+    }
+}
+
+/// Builds the conflict graph `G_S` over the given unordered Hamiltonian
+/// color pairs: vertices are pairs, edges join pairs sharing an element.
+pub fn conflict_graph(pairs: &[(u64, u64)]) -> Graph {
+    let mut g = Graph::new(pairs.len() as u32);
+    for (i, &(a0, a1)) in pairs.iter().enumerate() {
+        for (j, &(b0, b1)) in pairs.iter().enumerate().skip(i + 1) {
+            if a0 == b0 || a0 == b1 || a1 == b0 || a1 == b1 {
+                g.add_edge(i as u32, j as u32);
+            }
+        }
+    }
+    g
+}
+
+fn solution_from_pairs(s: &Singer, pairs: Vec<(u64, u64)>, attempts_used: usize) -> DisjointSolution {
+    let paths: Vec<AltPath> =
+        pairs.iter().map(|&(d0, d1)| alternating_path(s, d0, d1)).collect();
+    let trees: Vec<RootedTree> = paths.iter().map(|p| p.midpoint_tree()).collect();
+    DisjointSolution { pairs, paths, trees, attempts_used }
+}
+
+/// The paper's protocol: up to `attempts` random maximal independent sets
+/// in the conflict graph, stopping early at the `⌊(q+1)/2⌋` upper bound.
+/// Deterministic for a given `seed`.
+pub fn find_edge_disjoint(s: &Singer, attempts: usize, seed: u64) -> DisjointSolution {
+    let all = hamiltonian_pairs_unordered(s);
+    let g = conflict_graph(&all);
+    let target = DisjointSolution::upper_bound(s.q());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (set, used) = indset::best_of_random(&g, attempts, Some(target), &mut rng);
+    let pairs = set.into_iter().map(|i| all[i as usize]).collect();
+    solution_from_pairs(s, pairs, used)
+}
+
+/// Exact maximum edge-disjoint set via branch-and-bound maximum independent
+/// set — the ablation baseline. Exponential; intended for small `q`.
+pub fn find_edge_disjoint_exact(s: &Singer) -> DisjointSolution {
+    let all = hamiltonian_pairs_unordered(s);
+    let g = conflict_graph(&all);
+    let set = indset::maximum(&g);
+    let pairs = set.into_iter().map(|i| all[i as usize]).collect();
+    solution_from_pairs(s, pairs, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::congestion::assign_unit_bandwidth;
+    use crate::rational::Rational;
+    use pf_graph::tree::pairwise_edge_disjoint;
+
+    #[test]
+    fn conflict_graph_structure() {
+        let pairs = vec![(0, 1), (0, 2), (1, 2), (3, 4)];
+        let g = conflict_graph(&pairs);
+        assert_eq!(g.num_vertices(), 4);
+        assert!(g.has_edge(0, 1)); // share 0
+        assert!(g.has_edge(0, 2)); // share 1
+        assert!(g.has_edge(1, 2)); // share 2
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(1, 3));
+        assert!(!g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn random_search_hits_optimum_small_q() {
+        for q in [3u64, 4, 5, 7, 8, 9, 11, 13] {
+            let s = Singer::new(q);
+            let sol = find_edge_disjoint(&s, 30, 2023);
+            assert!(
+                sol.is_optimal(q),
+                "q={q}: found {} trees, bound {}",
+                sol.pairs.len(),
+                DisjointSolution::upper_bound(q)
+            );
+            assert!(sol.attempts_used <= 30);
+        }
+    }
+
+    #[test]
+    fn trees_are_edge_disjoint_spanning_trees() {
+        for q in [3u64, 4, 5, 7, 9] {
+            let s = Singer::new(q);
+            let sol = find_edge_disjoint(&s, 30, 7);
+            for t in &sol.trees {
+                t.validate_spanning(s.graph()).unwrap();
+            }
+            assert!(pairwise_edge_disjoint(&sol.trees, s.graph()), "q={q}");
+        }
+    }
+
+    #[test]
+    fn disjoint_trees_get_full_bandwidth() {
+        // Theorem 7.19: aggregate bandwidth = t·B with no congestion.
+        for q in [3u64, 5, 7] {
+            let s = Singer::new(q);
+            let sol = find_edge_disjoint(&s, 30, 99);
+            let a = assign_unit_bandwidth(s.graph(), &sol.trees);
+            assert_eq!(a.max_congestion, 1, "q={q}");
+            assert_eq!(
+                a.aggregate(),
+                Rational::from_int(sol.trees.len() as i64),
+                "q={q}"
+            );
+            for b in &a.per_tree {
+                assert_eq!(*b, Rational::ONE);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matches_bound_small_q() {
+        for q in [3u64, 4, 5, 7, 8] {
+            let s = Singer::new(q);
+            let sol = find_edge_disjoint_exact(&s);
+            assert_eq!(
+                sol.pairs.len(),
+                DisjointSolution::upper_bound(q),
+                "q={q}: exact maximum independent set"
+            );
+            assert!(pairwise_edge_disjoint(&sol.trees, s.graph()));
+        }
+    }
+
+    #[test]
+    fn chosen_pairs_have_disjoint_colors() {
+        let s = Singer::new(9);
+        let sol = find_edge_disjoint(&s, 30, 1);
+        let mut used = std::collections::HashSet::new();
+        for &(d0, d1) in &sol.pairs {
+            assert!(used.insert(d0), "color {d0} reused");
+            assert!(used.insert(d1), "color {d1} reused");
+        }
+    }
+
+    #[test]
+    fn figure4_sets_q3_q4() {
+        // Figure 4: maximal sets of 2 edge-disjoint Hamiltonian paths for
+        // q = 3 and q = 4. The exact color pairs depend on the independent
+        // set found; the paper's examples are {(0,1),(3,9)} for q=3 and
+        // {(0,1),(4,14)} for q=4 — both must be valid solutions here.
+        let s3 = Singer::new(3);
+        let sol3 = solution_from_pairs(&s3, vec![(0, 1), (3, 9)], 1);
+        assert!(pairwise_edge_disjoint(&sol3.trees, s3.graph()));
+        assert!(sol3.is_optimal(3));
+        // q=3: the two paths use all edges of S_3.
+        let total_edges: usize = sol3.trees.iter().map(|t| t.edges().count()).sum();
+        assert_eq!(total_edges as u32, s3.graph().num_edges());
+
+        let s4 = Singer::new(4);
+        let sol4 = solution_from_pairs(&s4, vec![(0, 1), (4, 14)], 1);
+        assert!(pairwise_edge_disjoint(&sol4.trees, s4.graph()));
+        assert!(sol4.is_optimal(4));
+        // q=4: color 16 is unused (the paper notes the cyan edges remain).
+        let total_edges: usize = sol4.trees.iter().map(|t| t.edges().count()).sum();
+        assert_eq!(total_edges as u64, s4.graph().num_edges() as u64 - (s4.n() - 1) / 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = Singer::new(7);
+        let a = find_edge_disjoint(&s, 30, 5);
+        let b = find_edge_disjoint(&s, 30, 5);
+        assert_eq!(a.pairs, b.pairs);
+    }
+}

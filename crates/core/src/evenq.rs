@@ -1,0 +1,149 @@
+//! Exploration of the even-`q` low-depth solution the paper mentions but
+//! does not construct (§6.1.1: "we have a conceptually similar layout and
+//! an Allreduce solution for even q"; Corollary 7.7 states its bandwidth
+//! as `(q+1)B/2`).
+//!
+//! A counting argument pins down how rigid that solution must be: reaching
+//! aggregate `(q+1)B/2` with congestion-2 trees takes `q + 1` trees of
+//! `B/2` each, consuming `(q+1)(q^2+q)` tree-edge slots — exactly
+//! `2·|E|`. So **every physical link must lie in exactly two trees**: the
+//! tree set is a perfect double cover of `ER_q` by `q + 1` spanning trees
+//! of depth ≤ 3. (For odd `q`, Algorithm 3 leaves the `E_a`-popped center
+//! edges singly covered and gives up the `B/2` of bandwidth between
+//! `q·B/2` and optimal.)
+//!
+//! [`search_low_depth_even`] is a randomized greedy attempt at such a
+//! double cover (quadric-rooted capacity-constrained BFS). It does *not*
+//! succeed on the instances we tried (see the `evenq-search` experiment) —
+//! evidence that the even-`q` construction genuinely needs the algebraic
+//! structure the paper alludes to, not just search. The function returns
+//! verified trees when it does succeed, so a future construction can be
+//! dropped in and validated by the same machinery.
+
+use pf_graph::{Graph, RootedTree, VertexId};
+use pf_topo::PolarFly;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The counting identity behind the rigidity: `(q+1)` spanning trees use
+/// `(q+1)(q^2+q)` edge slots and `2|E| = q(q+1)^2` — always equal.
+/// Returns `(slots_needed, slots_available)`.
+pub fn double_cover_budget(q: u64) -> (u64, u64) {
+    let slots = (q + 1) * (q * q + q);
+    let capacity = 2 * (q * (q + 1) * (q + 1) / 2);
+    (slots, capacity)
+}
+
+/// One randomized greedy attempt: for each root (the `q + 1` quadrics),
+/// grow a depth-≤ 3 BFS tree over edges with remaining capacity 2→1→0,
+/// preferring fresher edges. Returns `None` if any tree fails to span.
+fn greedy_attempt(g: &Graph, roots: &[VertexId], rng: &mut StdRng) -> Option<Vec<RootedTree>> {
+    let n = g.num_vertices() as usize;
+    let mut cap = vec![2u8; g.num_edges() as usize];
+    let mut trees = Vec::with_capacity(roots.len());
+    for &root in roots {
+        let mut parent: Vec<Option<VertexId>> = vec![None; n];
+        let mut depth = vec![u32::MAX; n];
+        depth[root as usize] = 0;
+        let mut frontier = vec![root];
+        for d in 1..=3u32 {
+            let mut next = Vec::new();
+            frontier.shuffle(rng);
+            for &u in &frontier {
+                let mut nbrs = g.neighbors_with_edges(u).to_vec();
+                nbrs.shuffle(rng);
+                nbrs.sort_by_key(|&(_, e)| std::cmp::Reverse(cap[e as usize]));
+                for (v, e) in nbrs {
+                    if depth[v as usize] != u32::MAX || cap[e as usize] == 0 {
+                        continue;
+                    }
+                    depth[v as usize] = d;
+                    parent[v as usize] = Some(u);
+                    cap[e as usize] -= 1;
+                    next.push(v);
+                }
+            }
+            frontier = next;
+        }
+        if depth.contains(&u32::MAX) {
+            return None;
+        }
+        trees.push(RootedTree::from_parents(root, parent).ok()?);
+    }
+    Some(trees)
+}
+
+/// Searches for a `q+1`-tree, congestion-2, depth-≤3 solution on an
+/// even-`q` PolarFly with up to `attempts` randomized greedy passes.
+/// Returns validated trees on success (`None` expected on the instances
+/// tried so far — see module docs).
+pub fn search_low_depth_even(
+    pf: &PolarFly,
+    attempts: usize,
+    seed: u64,
+) -> Option<Vec<RootedTree>> {
+    let g = pf.graph();
+    let roots = pf.quadrics();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..attempts {
+        if let Some(trees) = greedy_attempt(g, &roots, &mut rng) {
+            // Validate before returning: spanning, depth, congestion.
+            if trees.iter().all(|t| t.validate_spanning(g).is_ok() && t.depth() <= 3)
+                && pf_graph::tree::edge_congestion(&trees, g).iter().all(|&c| c <= 2)
+            {
+                return Some(trees);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_cover_budget_is_always_tight() {
+        for q in [4u64, 8, 16, 32, 64, 128, 3, 5, 7] {
+            let (need, have) = double_cover_budget(q);
+            assert_eq!(need, have, "q={q}: (q+1) trees exactly exhaust 2|E|");
+        }
+    }
+
+    #[test]
+    fn search_result_if_any_is_valid() {
+        // The greedy is not expected to succeed; this test pins down the
+        // contract either way.
+        let pf = PolarFly::new(4);
+        match search_low_depth_even(&pf, 50, 1234) {
+            Some(trees) => {
+                assert_eq!(trees.len(), 5);
+                for t in &trees {
+                    t.validate_spanning(pf.graph()).unwrap();
+                    assert!(t.depth() <= 3);
+                }
+                let c = pf_graph::tree::edge_congestion(&trees, pf.graph());
+                assert!(c.iter().all(|&x| x <= 2));
+            }
+            None => {
+                // Expected: documents that the paper's even-q variant is
+                // not reachable by naive search.
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_partial_attempts_respect_capacity() {
+        // Even failing attempts never overcommit an edge.
+        let pf = PolarFly::new(4);
+        let g = pf.graph();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            if let Some(trees) = greedy_attempt(g, &pf.quadrics(), &mut rng) {
+                let c = pf_graph::tree::edge_congestion(&trees, g);
+                assert!(c.iter().all(|&x| x <= 2));
+            }
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Alternating-sum paths in the Singer graph and their spanning trees
+//! (paper §7.2).
+//!
+//! For a pair of distinct difference-set elements `(d0, d1)` there is a
+//! unique maximal alternating-sum non-repeating path with
+//! `k = N / gcd(d0 - d1, N)` vertices (Theorem 7.13), running between the
+//! reflection points `2^{-1}·d1` and `2^{-1}·d0` (Lemma 7.12) with edge
+//! sums alternating `d1, d0, d1, …`. The path is Hamiltonian iff
+//! `d0 - d1` is coprime to `N` (Corollary 7.15), and the number of
+//! Hamiltonian such paths (counting reversals) is `φ(N)` (Corollary 7.20).
+
+use pf_galois::zmod::{half_mod, sub_mod};
+use pf_graph::{RootedTree, VertexId};
+use pf_topo::Singer;
+
+/// A maximal alternating-sum non-repeating path for a color pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AltPath {
+    /// First alternating sum (color of even-indexed edges, 1-based).
+    pub d0: u64,
+    /// Second alternating sum; the path starts at `2^{-1}·d1`.
+    pub d1: u64,
+    /// The vertex sequence `b_1 … b_k`.
+    pub vertices: Vec<VertexId>,
+}
+
+impl AltPath {
+    /// Number of vertices `k`.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` iff the path is empty (never produced by the constructor).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Whether the path spans all `N` vertices.
+    pub fn is_hamiltonian(&self, n: u64) -> bool {
+        self.vertices.len() as u64 == n
+    }
+
+    /// Source endpoint `b_1 = 2^{-1}·d1`.
+    pub fn source(&self) -> VertexId {
+        self.vertices[0]
+    }
+
+    /// Sink endpoint `b_k = 2^{-1}·d0`.
+    pub fn sink(&self) -> VertexId {
+        *self.vertices.last().unwrap()
+    }
+
+    /// The midpoint-rooted spanning tree of Lemma 7.17 (depth `(k-1)/2`;
+    /// `k` is always odd by Lemma 7.12).
+    pub fn midpoint_tree(&self) -> RootedTree {
+        RootedTree::from_path(&self.vertices, (self.vertices.len() - 1) / 2)
+            .expect("an alternating-sum path is a simple path")
+    }
+}
+
+/// Constructs the unique maximal alternating-sum non-repeating path for the
+/// ordered pair `(d0, d1)` by the recurrence of Corollary 7.15:
+/// `b_1 = 2^{-1}·d1`, then `b_i = d0 - b_{i-1}` (even `i`) or
+/// `d1 - b_{i-1}` (odd `i`).
+///
+/// Panics unless `d0` and `d1` are distinct members of the difference set.
+///
+/// ```
+/// use pf_allreduce::hamiltonian::alternating_path;
+/// use pf_topo::Singer;
+/// let s = Singer::new(3);
+/// let p = alternating_path(&s, 3, 1);          // colors (d0, d1) = (3, 1)
+/// assert!(p.is_hamiltonian(13));               // gcd(3-1, 13) = 1
+/// assert_eq!(p.source(), 7);                   // 2^{-1} * d1 mod 13
+/// assert_eq!(p.midpoint_tree().depth(), 6);    // (N-1)/2
+/// ```
+pub fn alternating_path(s: &Singer, d0: u64, d1: u64) -> AltPath {
+    let n = s.n();
+    assert!(d0 != d1, "alternating sums must be distinct");
+    assert!(
+        s.difference_set().contains(&d0) && s.difference_set().contains(&d1),
+        "({d0},{d1}) must be difference-set elements"
+    );
+    let diff = sub_mod(d0, d1, n);
+    let k = n / pf_galois::zmod::gcd(diff, n);
+    let half = half_mod(n);
+    let b1 = (half as u128 * d1 as u128 % n as u128) as u64;
+
+    let mut vertices = Vec::with_capacity(k as usize);
+    vertices.push(b1 as VertexId);
+    let mut prev = b1;
+    for i in 2..=k {
+        let d = if i % 2 == 0 { d0 } else { d1 };
+        let next = sub_mod(d, prev, n);
+        vertices.push(next as VertexId);
+        prev = next;
+    }
+    debug_assert_eq!(
+        prev,
+        (half as u128 * d0 as u128 % n as u128) as u64,
+        "Lemma 7.12: the sink must be the reflection point of d0"
+    );
+    AltPath { d0, d1, vertices }
+}
+
+/// All ordered pairs `(d0, d1)` whose alternating-sum path is Hamiltonian.
+/// By Corollary 7.20 there are exactly `φ(N)` of them.
+pub fn hamiltonian_pairs(s: &Singer) -> Vec<(u64, u64)> {
+    let n = s.n();
+    let d = s.difference_set();
+    let mut out = Vec::new();
+    for &d0 in d {
+        for &d1 in d {
+            if d0 != d1 && pf_galois::zmod::gcd(sub_mod(d0, d1, n), n) == 1 {
+                out.push((d0, d1));
+            }
+        }
+    }
+    out
+}
+
+/// All *unordered* Hamiltonian color pairs `{d0 < d1}` (a path and its
+/// reversal use the same edges, so the edge-disjointness search works on
+/// unordered pairs).
+pub fn hamiltonian_pairs_unordered(s: &Singer) -> Vec<(u64, u64)> {
+    hamiltonian_pairs(s).into_iter().filter(|&(a, b)| a < b).collect()
+}
+
+/// All non-Hamiltonian maximal alternating-sum paths (unordered pairs),
+/// reproducing Table 2 of the paper for `q = 4`.
+pub fn non_hamiltonian_paths(s: &Singer) -> Vec<AltPath> {
+    let n = s.n();
+    let d = s.difference_set();
+    let mut out = Vec::new();
+    for (i, &d0) in d.iter().enumerate() {
+        for &d1 in &d[i + 1..] {
+            if pf_galois::zmod::gcd(sub_mod(d0, d1, n), n) != 1 {
+                out.push(alternating_path(s, d0, d1));
+            }
+        }
+    }
+    out
+}
+
+/// Direct closed form for `b_i`, used to cross-check the recurrence.
+///
+/// Derived from the Corollary 7.15 recurrence (`b_1 = 2^{-1}·d1`,
+/// `b_i = d0 - b_{i-1}` for even `i`, `d1 - b_{i-1}` for odd `i`):
+///
+/// * odd `i`:  `b_i = b_1 + ((i-1)/2)·(d1 - d0)`
+/// * even `i`: `b_i = d0 - b_1 - (i/2 - 1)·(d1 - d0)`
+///
+/// Note: Corollary 7.16 as printed in the paper has its parity cases
+/// shifted (its own `i = 1` case would give `d0 - b_1` instead of `b_1`);
+/// the form above is the one consistent with Lemma 7.12 and Theorem 7.13
+/// (`b_k - b_1 = 2^{-1}(d0 - d1)` for odd `k`). Our tests verify it against
+/// the recurrence on every path. See EXPERIMENTS.md for the erratum note.
+pub fn closed_form_vertex(s: &Singer, d0: u64, d1: u64, i: u64) -> VertexId {
+    assert!(i >= 1, "vertex indices are 1-based");
+    let n = s.n() as u128;
+    let b1 = half_mod(s.n()) as u128 * d1 as u128 % n;
+    let step = sub_mod(d1, d0, s.n()) as u128; // (d1 - d0) mod N
+    let v = if i % 2 == 1 {
+        (b1 + ((i as u128 - 1) / 2) * step) % n
+    } else {
+        let m = i as u128 / 2;
+        // d0 - b1 - (m - 1)·step, all mod N.
+        let negs = (b1 + (m - 1) * step % n) % n;
+        (d0 as u128 + n - negs) % n
+    };
+    v as VertexId
+}
+
+/// The root predicted by Lemma 7.17 for a Hamiltonian path: the midpoint
+/// vertex `b_{(N+1)/2}`.
+pub fn predicted_root(s: &Singer, d0: u64, d1: u64) -> VertexId {
+    closed_form_vertex(s, d0, d1, s.n().div_ceil(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_galois::euler_totient;
+
+    #[test]
+    fn paths_are_valid_graph_paths() {
+        for q in [3u64, 4, 5, 7, 8, 9] {
+            let s = Singer::new(q);
+            let d = s.difference_set().to_vec();
+            for (i, &d0) in d.iter().enumerate() {
+                for &d1 in &d[i + 1..] {
+                    let p = alternating_path(&s, d0, d1);
+                    // Non-repeating.
+                    let set: std::collections::HashSet<_> = p.vertices.iter().collect();
+                    assert_eq!(set.len(), p.vertices.len(), "q={q} ({d0},{d1})");
+                    // Every hop is an edge with the right alternating sum.
+                    for (idx, w) in p.vertices.windows(2).enumerate() {
+                        let i1 = idx + 2; // edge (b_{i1-1}, b_{i1}), 1-based vertex index
+                        assert!(
+                            s.graph().has_edge(w[0], w[1]),
+                            "q={q} ({d0},{d1}): hop {idx} not an edge"
+                        );
+                        let sum = (w[0] as u64 + w[1] as u64) % s.n();
+                        let expect = if i1 % 2 == 0 { d0 } else { d1 };
+                        assert_eq!(sum, expect, "q={q} ({d0},{d1}) hop {idx}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_length_matches_theorem_7_13() {
+        for q in [3u64, 4, 5, 7, 8] {
+            let s = Singer::new(q);
+            let n = s.n();
+            let d = s.difference_set().to_vec();
+            for (i, &d0) in d.iter().enumerate() {
+                for &d1 in &d[i + 1..] {
+                    let p = alternating_path(&s, d0, d1);
+                    let k = n / pf_galois::zmod::gcd(sub_mod(d0, d1, n), n);
+                    assert_eq!(p.len() as u64, k, "q={q} ({d0},{d1})");
+                    assert_eq!(k % 2, 1, "Lemma 7.12: k is odd");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_are_reflection_points() {
+        // Lemma 7.12.
+        for q in [3u64, 4, 5] {
+            let s = Singer::new(q);
+            for &(d0, d1) in &hamiltonian_pairs_unordered(&s) {
+                let p = alternating_path(&s, d0, d1);
+                assert_eq!(p.source(), s.reflection_of(d1), "q={q}");
+                assert_eq!(p.sink(), s.reflection_of(d0), "q={q}");
+                assert!(s.is_reflection(p.source()));
+                assert!(s.is_reflection(p.sink()));
+            }
+        }
+    }
+
+    #[test]
+    fn hamiltonian_count_is_totient() {
+        // Corollary 7.20.
+        for q in [3u64, 4, 5, 7, 8, 9, 11, 13] {
+            let s = Singer::new(q);
+            let n = s.n();
+            assert_eq!(
+                hamiltonian_pairs(&s).len() as u64,
+                euler_totient(n),
+                "q={q}, N={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_non_hamiltonian_paths_q4() {
+        // Table 2 of the paper: the non-Hamiltonian maximal paths of S_4
+        // with D = {0,1,4,14,16}, N = 21.
+        let s = Singer::new(4);
+        let paths = non_hamiltonian_paths(&s);
+        let mut rows: Vec<(u64, u64, u64, usize, VertexId, VertexId)> = paths
+            .iter()
+            .map(|p| {
+                let g = pf_galois::zmod::gcd(sub_mod(p.d0, p.d1, 21), 21);
+                (p.d0, p.d1, g, p.len(), p.source(), p.sink())
+            })
+            .collect();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                (0, 14, 7, 3, 7, 0),
+                (1, 4, 3, 7, 2, 11),
+                (1, 16, 3, 7, 8, 11),
+                (4, 16, 3, 7, 8, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn closed_form_matches_recurrence() {
+        // Corollary 7.16.
+        for q in [3u64, 4, 5, 7] {
+            let s = Singer::new(q);
+            for &(d0, d1) in &hamiltonian_pairs(&s) {
+                let p = alternating_path(&s, d0, d1);
+                for (idx, &v) in p.vertices.iter().enumerate() {
+                    let i = idx as u64 + 1;
+                    assert_eq!(v, closed_form_vertex(&s, d0, d1, i), "q={q} ({d0},{d1}) i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn midpoint_tree_depth_is_half() {
+        // Lemma 7.17: optimal depth (N-1)/2, root = b_{(N+1)/2}.
+        for q in [3u64, 4, 5, 7] {
+            let s = Singer::new(q);
+            let n = s.n();
+            for &(d0, d1) in &hamiltonian_pairs_unordered(&s) {
+                let p = alternating_path(&s, d0, d1);
+                let t = p.midpoint_tree();
+                assert_eq!(t.depth() as u64, (n - 1) / 2, "q={q}");
+                assert_eq!(t.root(), predicted_root(&s, d0, d1), "q={q} ({d0},{d1})");
+                t.validate_spanning(s.graph()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn reversal_swaps_endpoints() {
+        let s = Singer::new(3);
+        let p = alternating_path(&s, 1, 3);
+        let r = alternating_path(&s, 3, 1);
+        let mut rev = r.vertices.clone();
+        rev.reverse();
+        assert_eq!(p.vertices, rev);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn equal_sums_rejected() {
+        let s = Singer::new(3);
+        alternating_path(&s, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "difference-set")]
+    fn non_member_sums_rejected() {
+        let s = Singer::new(3);
+        alternating_path(&s, 2, 3);
+    }
+
+    #[test]
+    fn n_prime_means_all_paths_hamiltonian() {
+        // q = 3 -> N = 13 prime: every pair is Hamiltonian.
+        let s = Singer::new(3);
+        assert!(non_hamiltonian_paths(&s).is_empty());
+        assert_eq!(hamiltonian_pairs(&s).len(), 4 * 3);
+    }
+}

@@ -1,0 +1,52 @@
+//! Multi-spanning-tree in-network allreduce on PolarFly.
+//!
+//! This crate implements the primary contribution of *"In-network Allreduce
+//! with Multiple Spanning Trees on PolarFly"* (SPAA '23):
+//!
+//! * [`lowdepth`] — Algorithm 3: `q` spanning trees of depth ≤ 3 with
+//!   worst-case link congestion 2 (Theorems 7.4–7.6), built on the PolarFly
+//!   layout;
+//! * [`hamiltonian`] — alternating-sum paths in the Singer graph
+//!   (Theorem 7.13, Corollaries 7.15/7.16) and their midpoint-rooted
+//!   spanning trees (Lemma 7.17);
+//! * [`disjoint`] — maximal sets of edge-disjoint Hamiltonian paths via
+//!   independent sets in the color-pair conflict graph (§7.3);
+//! * [`congestion`] — Algorithm 1: the water-filling bandwidth model for a
+//!   set of embedded trees, in exact rational arithmetic;
+//! * [`perf`] — the Theorem 5.1 performance model: optimal sub-vector
+//!   split, aggregate bandwidth, optimal bounds (Corollary 7.1);
+//! * [`verify`] — executable statements of the paper's theorems, used by
+//!   tests, benches and the simulator;
+//! * [`plan`] — the high-level [`plan::AllreducePlan`] facade tying it all
+//!   together.
+//!
+//! # Quick example
+//!
+//! ```
+//! use pf_allreduce::plan::AllreducePlan;
+//!
+//! // q = 7: PolarFly with 57 routers of radix 8.
+//! let low = AllreducePlan::low_depth(7).unwrap();
+//! assert_eq!(low.trees.len(), 7);
+//! assert_eq!(low.depth, 3);
+//! assert_eq!(low.max_congestion, 2);
+//!
+//! let ham = AllreducePlan::edge_disjoint(7, 30, 0xC0FFEE).unwrap();
+//! assert_eq!(ham.trees.len(), 4); // floor((q+1)/2) — the optimum
+//! assert_eq!(ham.max_congestion, 1);
+//! ```
+
+pub mod baselines;
+pub mod congestion;
+pub mod disjoint;
+pub mod evenq;
+pub mod hamiltonian;
+pub mod logical;
+pub mod lowdepth;
+pub mod perf;
+pub mod plan;
+pub mod rational;
+pub mod verify;
+
+pub use plan::{AllreducePlan, Solution};
+pub use rational::Rational;

@@ -1,0 +1,253 @@
+//! High-level facade: build a complete multi-tree allreduce plan for a
+//! PolarFly of a given radix.
+//!
+//! An [`AllreducePlan`] owns the topology graph, the spanning-tree set, and
+//! the Algorithm 1 bandwidth assignment, and exposes the Theorem 5.1
+//! performance model (optimal sub-vector split, predicted time). It is the
+//! type the examples, the benchmarks and the simulator consume.
+
+use crate::congestion::assign_unit_bandwidth;
+use crate::disjoint::find_edge_disjoint;
+use crate::lowdepth::low_depth_trees;
+use crate::perf;
+use crate::rational::Rational;
+use pf_graph::{bfs, Graph, RootedTree};
+use pf_topo::{PolarFly, Singer};
+
+/// Which of the paper's two solutions (plus baselines) a plan embodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Solution {
+    /// §7.1: `q` trees, depth ≤ 3, congestion ≤ 2 (odd prime powers).
+    LowDepth,
+    /// §7.2: `⌊(q+1)/2⌋` edge-disjoint Hamiltonian-path trees.
+    EdgeDisjoint,
+    /// Baseline: one BFS spanning tree (depth 2), bandwidth `B`.
+    SingleTree,
+}
+
+impl Solution {
+    /// Human-readable label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Solution::LowDepth => "low-depth",
+            Solution::EdgeDisjoint => "edge-disjoint",
+            Solution::SingleTree => "single-tree",
+        }
+    }
+}
+
+/// A fully-resolved multi-tree allreduce embedding for one PolarFly.
+#[derive(Debug, Clone)]
+pub struct AllreducePlan {
+    /// Field order (`radix = q + 1`, `N = q^2 + q + 1` routers).
+    pub q: u64,
+    /// Which construction produced the trees.
+    pub solution: Solution,
+    /// The physical topology the trees are embedded in. For `LowDepth` and
+    /// `SingleTree` this is the projective-geometry `ER_q` labeling; for
+    /// `EdgeDisjoint` it is the (isomorphic) Singer labeling.
+    pub graph: Graph,
+    /// The spanning trees.
+    pub trees: Vec<RootedTree>,
+    /// Per-tree bandwidth from Algorithm 1 (unit link bandwidth).
+    pub bandwidths: Vec<Rational>,
+    /// Aggregate allreduce bandwidth `Σ B_i` (Theorem 5.1).
+    pub aggregate: Rational,
+    /// Maximum tree depth (latency proxy).
+    pub depth: u32,
+    /// Worst-case link congestion.
+    pub max_congestion: u32,
+}
+
+impl AllreducePlan {
+    fn from_parts(q: u64, solution: Solution, graph: Graph, trees: Vec<RootedTree>) -> Self {
+        let a = assign_unit_bandwidth(&graph, &trees);
+        let aggregate = a.aggregate();
+        let depth = trees.iter().map(|t| t.depth()).max().unwrap_or(0);
+        AllreducePlan {
+            q,
+            solution,
+            graph,
+            trees,
+            bandwidths: a.per_tree,
+            aggregate,
+            depth,
+            max_congestion: a.max_congestion,
+        }
+    }
+
+    /// Builds the low-depth plan (Algorithm 3). Odd prime powers only.
+    pub fn low_depth(q: u64) -> Result<Self, String> {
+        let pf = PolarFly::new(q);
+        let out = low_depth_trees(&pf, None)?;
+        Ok(Self::from_parts(q, Solution::LowDepth, pf.graph().clone(), out.trees))
+    }
+
+    /// Builds the edge-disjoint Hamiltonian plan (§7.2) with the paper's
+    /// randomized independent-set protocol (`attempts` tries, seeded).
+    pub fn edge_disjoint(q: u64, attempts: usize, seed: u64) -> Result<Self, String> {
+        let s = Singer::new(q);
+        let sol = find_edge_disjoint(&s, attempts, seed);
+        if sol.trees.is_empty() {
+            return Err(format!("no edge-disjoint Hamiltonian paths found for q = {q}"));
+        }
+        Ok(Self::from_parts(q, Solution::EdgeDisjoint, s.graph().clone(), sol.trees))
+    }
+
+    /// Builds the single-tree baseline: one BFS tree rooted at vertex 0 of
+    /// `ER_q` (depth 2 thanks to diameter 2) — the "current practice" the
+    /// paper's multi-tree solutions are compared against.
+    pub fn single_tree(q: u64) -> Result<Self, String> {
+        let pf = PolarFly::new(q);
+        let (_, parents) = bfs::tree(pf.graph(), 0);
+        let t = RootedTree::from_parents(0, parents).map_err(|e| e.to_string())?;
+        Ok(Self::from_parts(q, Solution::SingleTree, pf.graph().clone(), vec![t]))
+    }
+
+    /// Number of routers `N = q^2 + q + 1`.
+    pub fn num_nodes(&self) -> u64 {
+        self.q * self.q + self.q + 1
+    }
+
+    /// Corollary 7.1 optimum for this radix (unit link bandwidth).
+    pub fn optimal_bandwidth(&self) -> Rational {
+        perf::optimal_bandwidth(self.q, Rational::ONE)
+    }
+
+    /// Aggregate bandwidth normalized against the optimum (Figure 5a's
+    /// y-axis).
+    pub fn normalized_bandwidth(&self) -> Rational {
+        perf::normalized_bandwidth(self.aggregate, self.q, Rational::ONE)
+    }
+
+    /// Theorem 5.1 optimal sub-vector split of an `m`-element vector.
+    pub fn split(&self, m: u64) -> Vec<u64> {
+        perf::optimal_split(m, &self.bandwidths)
+    }
+
+    /// Predicted allreduce time for an `m`-element vector with the given
+    /// per-hop latency (Theorem 5.1 model; unit link bandwidth).
+    pub fn predicted_time(&self, m: u64, hop_latency: Rational) -> Rational {
+        let sizes = self.split(m);
+        let lats: Vec<Rational> =
+            self.trees.iter().map(|t| perf::tree_latency(t.depth(), hop_latency)).collect();
+        perf::allreduce_time(&sizes, &lats, &self.bandwidths)
+    }
+
+    /// Picks the faster of the paper's two solutions for the given message
+    /// size under the Theorem 5.1 model — the §7.3 trade-off, packaged:
+    /// small vectors favor the depth-3 trees, large vectors the
+    /// optimal-bandwidth Hamiltonian trees. Falls back to the
+    /// edge-disjoint plan for even `q` (where the low-depth construction
+    /// is unavailable).
+    pub fn recommend(q: u64, m: u64, hop_latency: Rational) -> Result<Self, String> {
+        let ham = Self::edge_disjoint(q, 30, 0x5EC)?;
+        match Self::low_depth(q) {
+            Ok(low) => {
+                if low.predicted_time(m, hop_latency) <= ham.predicted_time(m, hop_latency) {
+                    Ok(low)
+                } else {
+                    Ok(ham)
+                }
+            }
+            Err(_) => Ok(ham),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_depth_plan_summary() {
+        let p = AllreducePlan::low_depth(11).unwrap();
+        assert_eq!(p.q, 11);
+        assert_eq!(p.num_nodes(), 133);
+        assert_eq!(p.trees.len(), 11);
+        assert_eq!(p.depth, 3);
+        assert_eq!(p.max_congestion, 2);
+        // Corollary 7.7: aggregate >= 11/2; Corollary 7.1: <= 6.
+        assert!(p.aggregate >= Rational::new(11, 2));
+        assert!(p.aggregate <= Rational::from_int(6));
+        assert_eq!(p.optimal_bandwidth(), Rational::from_int(6));
+    }
+
+    #[test]
+    fn edge_disjoint_plan_summary() {
+        let p = AllreducePlan::edge_disjoint(11, 30, 3).unwrap();
+        assert_eq!(p.trees.len(), 6); // floor((11+1)/2)
+        assert_eq!(p.max_congestion, 1);
+        assert_eq!(p.aggregate, Rational::from_int(6));
+        assert_eq!(p.normalized_bandwidth(), Rational::ONE);
+        assert_eq!(p.depth as u64, (p.num_nodes() - 1) / 2);
+    }
+
+    #[test]
+    fn single_tree_baseline() {
+        let p = AllreducePlan::single_tree(7).unwrap();
+        assert_eq!(p.trees.len(), 1);
+        assert_eq!(p.depth, 2);
+        assert_eq!(p.aggregate, Rational::ONE);
+        assert_eq!(p.max_congestion, 1);
+    }
+
+    #[test]
+    fn split_matches_bandwidths() {
+        let p = AllreducePlan::edge_disjoint(7, 30, 9).unwrap();
+        let sizes = p.split(10_000);
+        assert_eq!(sizes.iter().sum::<u64>(), 10_000);
+        // Equal bandwidths -> equal split.
+        assert!(sizes.iter().all(|&s| s == 2500));
+    }
+
+    #[test]
+    fn predicted_time_decreases_with_more_trees() {
+        let single = AllreducePlan::single_tree(7).unwrap();
+        let multi = AllreducePlan::edge_disjoint(7, 30, 5).unwrap();
+        let m = 1_000_000;
+        let lat = Rational::from_int(50);
+        assert!(multi.predicted_time(m, lat) < single.predicted_time(m, lat));
+    }
+
+    #[test]
+    fn small_messages_favor_low_depth() {
+        // The latency/bandwidth trade-off of §7.3: for tiny vectors the
+        // depth-3 trees beat the depth-(N-1)/2 Hamiltonian trees.
+        let low = AllreducePlan::low_depth(11).unwrap();
+        let ham = AllreducePlan::edge_disjoint(11, 30, 5).unwrap();
+        let lat = Rational::from_int(50);
+        assert!(low.predicted_time(1, lat) < ham.predicted_time(1, lat));
+        // And for huge vectors the optimal-bandwidth solution wins.
+        assert!(ham.predicted_time(100_000_000, lat) < low.predicted_time(100_000_000, lat));
+    }
+
+    #[test]
+    fn even_q_low_depth_rejected_but_disjoint_works() {
+        assert!(AllreducePlan::low_depth(8).is_err());
+        let p = AllreducePlan::edge_disjoint(8, 30, 2).unwrap();
+        assert_eq!(p.trees.len(), 4);
+        assert_eq!(p.max_congestion, 1);
+    }
+
+    #[test]
+    fn recommendation_follows_the_crossover() {
+        let hop = Rational::from_int(4);
+        // Tiny vectors: depth-3 trees.
+        let small = AllreducePlan::recommend(11, 8, hop).unwrap();
+        assert_eq!(small.solution, Solution::LowDepth);
+        // Huge vectors: optimal-bandwidth trees.
+        let big = AllreducePlan::recommend(11, 100_000_000, hop).unwrap();
+        assert_eq!(big.solution, Solution::EdgeDisjoint);
+        // Even q: always edge-disjoint.
+        let even = AllreducePlan::recommend(8, 8, hop).unwrap();
+        assert_eq!(even.solution, Solution::EdgeDisjoint);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Solution::LowDepth.label(), "low-depth");
+        assert_eq!(Solution::EdgeDisjoint.label(), "edge-disjoint");
+        assert_eq!(Solution::SingleTree.label(), "single-tree");
+    }
+}

@@ -1,0 +1,474 @@
+//! Dense polynomial arithmetic over a table-driven field [`Gf`].
+//!
+//! Coefficients are stored little-endian (index `i` = coefficient of `x^i`)
+//! and kept normalized (no trailing zeros; the zero polynomial is an empty
+//! coefficient vector). All operations borrow the field, which carries the
+//! arithmetic tables.
+
+use crate::gf::Gf;
+
+/// A polynomial over `GF(q)` with little-endian `u16` coefficient labels.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Poly {
+    coeffs: Vec<u16>,
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Poly { coeffs: vec![1] }
+    }
+
+    /// The monomial `x`.
+    pub fn x() -> Self {
+        Poly { coeffs: vec![0, 1] }
+    }
+
+    /// Builds a polynomial from little-endian coefficients, trimming zeros.
+    pub fn from_coeffs(coeffs: impl Into<Vec<u16>>) -> Self {
+        let mut p = Poly { coeffs: coeffs.into() };
+        p.normalize();
+        p
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: u16) -> Self {
+        Poly::from_coeffs(vec![c])
+    }
+
+    fn normalize(&mut self) {
+        while self.coeffs.last() == Some(&0) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// `true` iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Little-endian coefficient slice (normalized).
+    pub fn coeffs(&self) -> &[u16] {
+        &self.coeffs
+    }
+
+    /// Coefficient of `x^i` (0 beyond the degree).
+    pub fn coeff(&self, i: usize) -> u16 {
+        self.coeffs.get(i).copied().unwrap_or(0)
+    }
+
+    /// Leading coefficient (0 for the zero polynomial).
+    pub fn leading(&self) -> u16 {
+        self.coeffs.last().copied().unwrap_or(0)
+    }
+
+    /// `true` iff monic (leading coefficient 1).
+    pub fn is_monic(&self) -> bool {
+        self.leading() == 1
+    }
+
+    /// Polynomial addition over `gf`.
+    pub fn add(&self, other: &Poly, gf: &Gf) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(gf.add(self.coeff(i), other.coeff(i)));
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// Polynomial subtraction over `gf`.
+    pub fn sub(&self, other: &Poly, gf: &Gf) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(gf.sub(self.coeff(i), other.coeff(i)));
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// Scalar multiple over `gf`.
+    pub fn scale(&self, c: u16, gf: &Gf) -> Poly {
+        Poly::from_coeffs(self.coeffs.iter().map(|&a| gf.mul(a, c)).collect::<Vec<_>>())
+    }
+
+    /// Schoolbook product over `gf`.
+    pub fn mul(&self, other: &Poly, gf: &Gf) -> Poly {
+        if self.is_zero() || other.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![0u16; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                out[i + j] = gf.add(out[i + j], gf.mul(a, b));
+            }
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// Euclidean division: returns `(quotient, remainder)` with
+    /// `self = q * divisor + r` and `deg r < deg divisor`.
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn divmod(&self, divisor: &Poly, gf: &Gf) -> (Poly, Poly) {
+        assert!(!divisor.is_zero(), "polynomial division by zero");
+        let dd = divisor.coeffs.len() - 1;
+        if self.coeffs.len() <= dd {
+            return (Poly::zero(), self.clone());
+        }
+        let lead_inv = gf.inv(divisor.leading());
+        let mut rem = self.coeffs.clone();
+        let mut quot = vec![0u16; self.coeffs.len() - dd];
+        for k in (dd..rem.len()).rev() {
+            let c = gf.mul(rem[k], lead_inv);
+            quot[k - dd] = c;
+            if c == 0 {
+                continue;
+            }
+            for (j, &djc) in divisor.coeffs.iter().enumerate() {
+                rem[k - dd + j] = gf.sub(rem[k - dd + j], gf.mul(c, djc));
+            }
+        }
+        rem.truncate(dd);
+        (Poly::from_coeffs(quot), Poly::from_coeffs(rem))
+    }
+
+    /// Remainder of Euclidean division.
+    pub fn rem(&self, divisor: &Poly, gf: &Gf) -> Poly {
+        self.divmod(divisor, gf).1
+    }
+
+    /// Monic greatest common divisor.
+    pub fn gcd(&self, other: &Poly, gf: &Gf) -> Poly {
+        let (mut a, mut b) = (self.clone(), other.clone());
+        while !b.is_zero() {
+            let r = a.rem(&b, gf);
+            a = b;
+            b = r;
+        }
+        if a.is_zero() {
+            a
+        } else {
+            let inv = gf.inv(a.leading());
+            a.scale(inv, gf)
+        }
+    }
+
+    /// Evaluates the polynomial at `x` by Horner's rule.
+    pub fn eval(&self, x: u16, gf: &Gf) -> u16 {
+        let mut acc = 0u16;
+        for &c in self.coeffs.iter().rev() {
+            acc = gf.add(gf.mul(acc, x), c);
+        }
+        acc
+    }
+
+    /// Formal derivative over `gf`.
+    pub fn derivative(&self, gf: &Gf) -> Poly {
+        if self.coeffs.len() <= 1 {
+            return Poly::zero();
+        }
+        let mut out = Vec::with_capacity(self.coeffs.len() - 1);
+        for (i, &c) in self.coeffs.iter().enumerate().skip(1) {
+            // i * c in the field: repeated addition of c, i mod p times.
+            let times = (i as u64 % gf.characteristic() as u64) as u16;
+            let mut acc = 0u16;
+            for _ in 0..times {
+                acc = gf.add(acc, c);
+            }
+            out.push(acc);
+        }
+        Poly::from_coeffs(out)
+    }
+
+    /// `self^e mod modulus` by square-and-multiply.
+    pub fn pow_mod(&self, mut e: u64, modulus: &Poly, gf: &Gf) -> Poly {
+        let mut acc = Poly::one().rem(modulus, gf);
+        let mut base = self.rem(modulus, gf);
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(&base, gf).rem(modulus, gf);
+            }
+            base = base.mul(&base, gf).rem(modulus, gf);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// All roots in `GF(q)` (with multiplicity ignored), by exhaustive scan.
+    pub fn roots(&self, gf: &Gf) -> Vec<u16> {
+        gf.elements().filter(|&x| self.eval(x, gf) == 0).collect()
+    }
+
+    /// Irreducibility over `GF(q)` by the Frobenius criterion: a monic
+    /// `f` of degree `n` is irreducible iff `x^(q^n) ≡ x (mod f)` and
+    /// `gcd(x^(q^(n/r)) - x, f) = 1` for every prime `r | n`.
+    ///
+    /// Non-monic polynomials are normalized first (a unit multiple does
+    /// not change irreducibility); constants are not irreducible.
+    pub fn is_irreducible(&self, gf: &Gf) -> bool {
+        let n = match self.degree() {
+            None | Some(0) => return false,
+            Some(1) => return true,
+            Some(n) => n,
+        };
+        let monic = self.scale(gf.inv(self.leading()), gf);
+        let q = gf.order() as u64;
+        let x = Poly::x();
+        // x^(q^n) mod f via n repeated q-power steps.
+        let mut fr = x.rem(&monic, gf);
+        for _ in 0..n {
+            fr = fr.pow_mod(q, &monic, gf);
+        }
+        if fr != x.rem(&monic, gf) {
+            return false;
+        }
+        for r in crate::prime::prime_divisors(n as u64) {
+            let k = n as u64 / r;
+            let mut fr = x.rem(&monic, gf);
+            for _ in 0..k {
+                fr = fr.pow_mod(q, &monic, gf);
+            }
+            // Irreducibility needs gcd(x^(q^(n/r)) - x, f) = 1.
+            if fr.sub(&x, gf).gcd(&monic, gf) != Poly::one() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Primitivity over `GF(q)`: `f` is primitive iff it is irreducible of
+    /// degree `n` and its root generates `GF(q^n)^*`, i.e.
+    /// `x^((q^n - 1) / r) ≢ 1 (mod f)` for every prime `r | q^n - 1`.
+    ///
+    /// Panics if `q^n` overflows `u64` (not reachable for the orders this
+    /// crate targets).
+    pub fn is_primitive(&self, gf: &Gf) -> bool {
+        if !self.is_irreducible(gf) {
+            return false;
+        }
+        let n = self.degree().unwrap() as u32;
+        if n == 0 {
+            return false;
+        }
+        let monic = self.scale(gf.inv(self.leading()), gf);
+        let q = gf.order() as u64;
+        let group = q.checked_pow(n).expect("q^n must fit in u64") - 1;
+        let x = Poly::x();
+        let one = Poly::one();
+        for r in crate::prime::prime_divisors(group) {
+            if x.pow_mod(group / r, &monic, gf) == one {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gf7() -> Gf {
+        Gf::new(7).unwrap()
+    }
+
+    #[test]
+    fn normalization() {
+        let p = Poly::from_coeffs(vec![1, 2, 0, 0]);
+        assert_eq!(p.coeffs(), &[1, 2]);
+        assert_eq!(p.degree(), Some(1));
+        assert!(Poly::from_coeffs(vec![0, 0]).is_zero());
+        assert_eq!(Poly::zero().degree(), None);
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let gf = gf7();
+        let a = Poly::from_coeffs(vec![1, 2, 3]);
+        let b = Poly::from_coeffs(vec![6, 5, 4, 3]);
+        let s = a.add(&b, &gf);
+        assert_eq!(s.sub(&b, &gf), a);
+        assert_eq!(s.sub(&a, &gf), b);
+        assert!(a.sub(&a, &gf).is_zero());
+    }
+
+    #[test]
+    fn mul_degree_and_commutativity() {
+        let gf = gf7();
+        let a = Poly::from_coeffs(vec![1, 1]); // x + 1
+        let b = Poly::from_coeffs(vec![6, 1]); // x + 6 = x - 1
+        let prod = a.mul(&b, &gf); // x^2 - 1
+        assert_eq!(prod.coeffs(), &[6, 0, 1]);
+        assert_eq!(a.mul(&b, &gf), b.mul(&a, &gf));
+        assert!(a.mul(&Poly::zero(), &gf).is_zero());
+    }
+
+    #[test]
+    fn divmod_identity() {
+        let gf = gf7();
+        let a = Poly::from_coeffs(vec![3, 1, 4, 1, 5]);
+        let b = Poly::from_coeffs(vec![2, 0, 1]);
+        let (q, r) = a.divmod(&b, &gf);
+        let back = q.mul(&b, &gf).add(&r, &gf);
+        assert_eq!(back, a);
+        assert!(r.degree().map_or(true, |d| d < b.degree().unwrap()));
+    }
+
+    #[test]
+    fn divmod_non_monic_divisor() {
+        let gf = gf7();
+        let a = Poly::from_coeffs(vec![1, 2, 3, 4]);
+        let b = Poly::from_coeffs(vec![5, 3]); // leading coeff 3
+        let (q, r) = a.divmod(&b, &gf);
+        assert_eq!(q.mul(&b, &gf).add(&r, &gf), a);
+    }
+
+    #[test]
+    fn gcd_of_product() {
+        let gf = gf7();
+        let a = Poly::from_coeffs(vec![1, 1]); // x + 1
+        let b = Poly::from_coeffs(vec![2, 1]); // x + 2
+        let c = Poly::from_coeffs(vec![3, 1]); // x + 3
+        let ab = a.mul(&b, &gf);
+        let ac = a.mul(&c, &gf);
+        assert_eq!(ab.gcd(&ac, &gf), a);
+        // gcd with zero is the (monic) other argument.
+        assert_eq!(ab.gcd(&Poly::zero(), &gf), ab);
+    }
+
+    #[test]
+    fn eval_horner() {
+        let gf = gf7();
+        let p = Poly::from_coeffs(vec![1, 0, 1]); // x^2 + 1
+        assert_eq!(p.eval(0, &gf), 1);
+        assert_eq!(p.eval(2, &gf), 5);
+        assert_eq!(p.eval(3, &gf), 3); // 9 + 1 = 10 = 3 mod 7
+        assert_eq!(p.roots(&gf), Vec::<u16>::new()); // -1 is not a QR mod 7
+    }
+
+    #[test]
+    fn roots_found() {
+        let gf = gf7();
+        // (x - 2)(x - 5) = x^2 - 7x + 10 = x^2 + 3 mod 7
+        let p = Poly::from_coeffs(vec![3, 0, 1]);
+        assert_eq!(p.roots(&gf), vec![2, 5]);
+    }
+
+    #[test]
+    fn pow_mod_fermat() {
+        let gf = gf7();
+        // x^(q^d) = x mod f for irreducible f of degree d dividing... use
+        // f = x^2 + 1? x^2+1 has roots mod 7? roots of x^2+3 exist; x^2+1:
+        // eval 2 -> 5, 3 -> 3, none zero except? -1 = 6; squares mod 7:
+        // {1,4,2,2,4,1} so x^2+1 has no roots -> irreducible of degree 2.
+        let f = Poly::from_coeffs(vec![1, 0, 1]);
+        let x = Poly::x();
+        let frob2 = x.pow_mod(49, &f, &gf);
+        assert_eq!(frob2, x.rem(&f, &gf), "x^(q^2) == x mod irreducible degree-2 f");
+    }
+
+    #[test]
+    fn derivative_rules() {
+        let gf = gf7();
+        let p = Poly::from_coeffs(vec![4, 3, 2, 1]); // x^3+2x^2+3x+4
+        assert_eq!(p.derivative(&gf).coeffs(), &[3, 4, 3]);
+        // In characteristic p, (x^p)' = 0.
+        let gf3 = Gf::new(3).unwrap();
+        let xp = Poly::from_coeffs(vec![0, 0, 0, 1]); // x^3
+        assert!(xp.derivative(&gf3).is_zero());
+    }
+
+    #[test]
+    fn irreducibility_matches_root_check_for_cubics() {
+        // Degree <= 3: irreducible iff no roots. Cross-validate the
+        // Frobenius criterion against exhaustive root search.
+        for q in [2u64, 3, 5, 7] {
+            let gf = Gf::new(q).unwrap();
+            for c0 in 0..gf.order() {
+                for c1 in 0..gf.order() {
+                    for c2 in 0..gf.order() {
+                        let f = Poly::from_coeffs(vec![c0, c1, c2, 1]);
+                        assert_eq!(
+                            f.is_irreducible(&gf),
+                            f.roots(&gf).is_empty(),
+                            "q={q} f={:?}",
+                            f.coeffs()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn irreducibility_degree_four_product() {
+        let gf = Gf::new(3).unwrap();
+        // (x^2 + 1)(x^2 + x + 2): product of two irreducible quadratics —
+        // no roots, but reducible. Root-checking would be fooled; the
+        // Frobenius criterion is not.
+        let a = Poly::from_coeffs(vec![1, 0, 1]);
+        let b = Poly::from_coeffs(vec![2, 1, 1]);
+        assert!(a.is_irreducible(&gf));
+        assert!(b.is_irreducible(&gf));
+        let prod = a.mul(&b, &gf);
+        assert!(prod.roots(&gf).is_empty());
+        assert!(!prod.is_irreducible(&gf));
+    }
+
+    #[test]
+    fn primitivity_of_the_singer_modulus() {
+        // The cubic CubicExt selects must pass Poly::is_primitive too.
+        for q in [3u64, 4, 5] {
+            let gf = Gf::new(q).unwrap();
+            let ext = crate::ext3::CubicExt::new(gf.clone());
+            let [m0, m1, m2] = ext.modulus();
+            let f = Poly::from_coeffs(vec![m0, m1, m2, 1]);
+            assert!(f.is_primitive(&gf), "q={q}");
+            assert!(f.is_irreducible(&gf), "q={q}");
+        }
+        // x^2 + 1 over F_3 is irreducible but NOT primitive (its root has
+        // order 4, not 8).
+        let gf3 = Gf::new(3).unwrap();
+        let f = Poly::from_coeffs(vec![1, 0, 1]);
+        assert!(f.is_irreducible(&gf3));
+        assert!(!f.is_primitive(&gf3));
+    }
+
+    #[test]
+    fn constants_and_linears() {
+        let gf = Gf::new(5).unwrap();
+        assert!(!Poly::constant(3).is_irreducible(&gf));
+        assert!(!Poly::zero().is_irreducible(&gf));
+        assert!(Poly::from_coeffs(vec![2, 1]).is_irreducible(&gf));
+        // Non-monic polynomials are normalized: 2x^2 + 2 over F_5 behaves
+        // like x^2 + 1 (irreducible iff -1 is a non-residue; mod 5 it IS a
+        // residue: 2^2 = 4 = -1, so reducible).
+        let f = Poly::from_coeffs(vec![2, 0, 2]);
+        assert!(!f.is_irreducible(&gf));
+    }
+
+    #[test]
+    fn works_over_extension_field() {
+        let gf = Gf::new(9).unwrap();
+        let a = Poly::from_coeffs(vec![gf.generator(), 1]);
+        let b = Poly::from_coeffs(vec![1, gf.generator()]);
+        let prod = a.mul(&b, &gf);
+        let (q, r) = prod.divmod(&a, &gf);
+        assert!(r.is_zero());
+        assert_eq!(q, b.scale(1, &gf));
+    }
+}

@@ -1,0 +1,185 @@
+//! Primality, factorization and totient utilities.
+//!
+//! All routines use trial division: every number handled by this crate is
+//! tiny (the largest value we ever factor is `q^3 - 1 < 2^21` for the
+//! largest PolarFly radix `q = 128`), so anything fancier would be noise.
+
+/// Returns `true` if `n` is prime.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// Factorizes `n` into `(prime, multiplicity)` pairs in increasing prime order.
+///
+/// Returns an empty vector for `n <= 1`.
+pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
+    let mut out = Vec::new();
+    if n < 2 {
+        return out;
+    }
+    let mut push = |p: u64, n: &mut u64| {
+        let mut m = 0;
+        while (*n).is_multiple_of(p) {
+            *n /= p;
+            m += 1;
+        }
+        if m > 0 {
+            out.push((p, m));
+        }
+    };
+    push(2, &mut n);
+    let mut d = 3;
+    while d * d <= n {
+        push(d, &mut n);
+        d += 2;
+    }
+    if n > 1 {
+        out.push((n, 1));
+    }
+    out
+}
+
+/// Returns the distinct prime divisors of `n` in increasing order.
+pub fn prime_divisors(n: u64) -> Vec<u64> {
+    factorize(n).into_iter().map(|(p, _)| p).collect()
+}
+
+/// If `q = p^a` for a prime `p` and `a >= 1`, returns `Some((p, a))`.
+pub fn prime_power(q: u64) -> Option<(u64, u32)> {
+    if q < 2 {
+        return None;
+    }
+    let f = factorize(q);
+    if f.len() == 1 {
+        Some(f[0])
+    } else {
+        None
+    }
+}
+
+/// Euler's totient function `phi(n)`.
+///
+/// Used for Corollary 7.20 of the paper: the number of alternating-sum
+/// Hamiltonian paths in the Singer graph `S_q` equals `phi(q^2 + q + 1)`.
+pub fn euler_totient(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let mut phi = n;
+    for (p, _) in factorize(n) {
+        phi = phi / p * (p - 1);
+    }
+    phi
+}
+
+/// All prime powers `q` with `lo <= q <= hi`, in increasing order.
+///
+/// These are exactly the feasible PolarFly design points: an `ER_q` graph
+/// (radix `q + 1`) exists iff `q` is a prime power.
+pub fn prime_powers_in(lo: u64, hi: u64) -> Vec<u64> {
+    (lo.max(2)..=hi).filter(|&q| prime_power(q).is_some()).collect()
+}
+
+/// Returns `true` if `a` and `b` are coprime. `gcd(0, n) = n` convention.
+pub fn coprime(a: u64, b: u64) -> bool {
+    crate::zmod::gcd(a, b) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_small() {
+        let primes: Vec<u64> =
+            (0..60).filter(|&n| is_prime(n)).collect();
+        assert_eq!(primes, [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]);
+    }
+
+    #[test]
+    fn factorize_roundtrip() {
+        for n in 2..5000u64 {
+            let f = factorize(n);
+            let prod: u64 = f.iter().map(|&(p, m)| p.pow(m)).product();
+            assert_eq!(prod, n);
+            for &(p, _) in &f {
+                assert!(is_prime(p), "factor {p} of {n} not prime");
+            }
+            for w in f.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn factorize_edge_cases() {
+        assert!(factorize(0).is_empty());
+        assert!(factorize(1).is_empty());
+        assert_eq!(factorize(2), vec![(2, 1)]);
+        assert_eq!(factorize(1 << 20), vec![(2, 20)]);
+    }
+
+    #[test]
+    fn prime_power_detection() {
+        assert_eq!(prime_power(2), Some((2, 1)));
+        assert_eq!(prime_power(4), Some((2, 2)));
+        assert_eq!(prime_power(8), Some((2, 3)));
+        assert_eq!(prime_power(9), Some((3, 2)));
+        assert_eq!(prime_power(27), Some((3, 3)));
+        assert_eq!(prime_power(121), Some((11, 2)));
+        assert_eq!(prime_power(125), Some((5, 3)));
+        assert_eq!(prime_power(128), Some((2, 7)));
+        assert_eq!(prime_power(6), None);
+        assert_eq!(prime_power(12), None);
+        assert_eq!(prime_power(100), None);
+        assert_eq!(prime_power(1), None);
+        assert_eq!(prime_power(0), None);
+    }
+
+    #[test]
+    fn paper_design_points() {
+        // The radix sweep used throughout the paper: prime powers in [3, 128].
+        let qs = prime_powers_in(3, 128);
+        assert_eq!(
+            qs,
+            [
+                3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29, 31, 32, 37, 41, 43, 47,
+                49, 53, 59, 61, 64, 67, 71, 73, 79, 81, 83, 89, 97, 101, 103, 107, 109, 113,
+                121, 125, 127, 128
+            ]
+        );
+    }
+
+    #[test]
+    fn totient_values() {
+        assert_eq!(euler_totient(1), 1);
+        assert_eq!(euler_totient(2), 1);
+        assert_eq!(euler_totient(12), 4);
+        assert_eq!(euler_totient(13), 12);
+        assert_eq!(euler_totient(21), 12);
+        assert_eq!(euler_totient(97), 96);
+        // phi is multiplicative on coprime arguments.
+        assert_eq!(euler_totient(21 * 13), euler_totient(21) * euler_totient(13));
+    }
+
+    #[test]
+    fn totient_matches_naive_count() {
+        for n in 1..500u64 {
+            let naive = (1..=n).filter(|&k| coprime(k, n)).count() as u64;
+            assert_eq!(euler_totient(n), naive, "phi({n})");
+        }
+    }
+}

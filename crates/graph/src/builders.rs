@@ -1,0 +1,136 @@
+//! Standard graph families, used by tests, benchmarks and baselines.
+
+use crate::graph::Graph;
+
+/// The path `0 - 1 - … - (n-1)`.
+pub fn path(n: u32) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    g
+}
+
+/// The cycle `C_n` (requires `n >= 3`).
+pub fn cycle(n: u32) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut g = path(n);
+    g.add_edge(n - 1, 0);
+    g
+}
+
+/// The star with center 0 and `n - 1` leaves.
+pub fn star(n: u32) -> Graph {
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        g.add_edge(0, v);
+    }
+    g
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: u32) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` vertices (edges between
+/// ids differing in one bit).
+pub fn hypercube(d: u32) -> Graph {
+    assert!(d <= 20, "hypercube dimension too large");
+    let n = 1u32 << d;
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        for b in 0..d {
+            let u = v ^ (1 << b);
+            if u > v {
+                g.add_edge(v, u);
+            }
+        }
+    }
+    g
+}
+
+/// The `rows × cols` 2-D torus (wraparound grid; requires both dims ≥ 3 to
+/// stay simple).
+pub fn torus2d(rows: u32, cols: u32) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus dims must be >= 3 to avoid parallel edges");
+    let n = rows * cols;
+    let mut g = Graph::new(n);
+    let id = |r: u32, c: u32| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_edge(id(r, c), id(r, (c + 1) % cols));
+            g.add_edge(id(r, c), id((r + 1) % rows, c));
+        }
+    }
+    g
+}
+
+/// The Petersen graph (3-regular, girth 5) — a classic test instance.
+pub fn petersen() -> Graph {
+    let mut g = Graph::new(10);
+    for i in 0..5 {
+        g.add_edge(i, (i + 1) % 5);
+        g.add_edge(5 + i, 5 + (i + 2) % 5);
+        g.add_edge(i, 5 + i);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+
+    #[test]
+    fn family_sizes() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(6).num_edges(), 6);
+        assert_eq!(star(7).num_edges(), 6);
+        assert_eq!(complete(6).num_edges(), 15);
+        assert_eq!(hypercube(4).num_edges(), 32);
+        assert_eq!(torus2d(3, 4).num_edges(), 24);
+        assert_eq!(petersen().num_edges(), 15);
+    }
+
+    #[test]
+    fn regularity() {
+        let q = hypercube(5);
+        assert!(q.vertices().all(|v| q.degree(v) == 5));
+        let t = torus2d(4, 5);
+        assert!(t.vertices().all(|v| t.degree(v) == 4));
+        let p = petersen();
+        assert!(p.vertices().all(|v| p.degree(v) == 3));
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(bfs::diameter(&path(6)), Some(5));
+        assert_eq!(bfs::diameter(&cycle(8)), Some(4));
+        assert_eq!(bfs::diameter(&star(9)), Some(2));
+        assert_eq!(bfs::diameter(&complete(5)), Some(1));
+        assert_eq!(bfs::diameter(&hypercube(6)), Some(6));
+        assert_eq!(bfs::diameter(&torus2d(4, 4)), Some(4));
+        assert_eq!(bfs::diameter(&petersen()), Some(2));
+    }
+
+    #[test]
+    fn all_connected() {
+        for g in [path(4), cycle(5), star(6), complete(4), hypercube(3), torus2d(3, 3), petersen()]
+        {
+            assert!(bfs::is_connected(&g));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_rejected() {
+        cycle(2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Disjoint-set union (union-find) with path halving and union by size.
+
+/// Union-find over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: u32,
+}
+
+impl Dsu {
+    /// `n` singleton sets.
+    pub fn new(n: u32) -> Self {
+        Dsu { parent: (0..n).collect(), size: vec![1; n as usize], components: n }
+    }
+
+    /// Representative of `x`'s set (path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were
+    /// distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn components(&self) -> u32 {
+        self.components
+    }
+
+    /// Size of `x`'s set.
+    pub fn size_of(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut d = Dsu::new(6);
+        assert_eq!(d.components(), 6);
+        assert!(d.union(0, 1));
+        assert!(d.union(2, 3));
+        assert!(!d.union(1, 0));
+        assert!(d.connected(0, 1));
+        assert!(!d.connected(0, 2));
+        assert_eq!(d.components(), 4);
+        assert!(d.union(1, 2));
+        assert!(d.connected(0, 3));
+        assert_eq!(d.size_of(3), 4);
+        assert_eq!(d.size_of(5), 1);
+    }
+
+    #[test]
+    fn spanning_tree_needs_n_minus_1_unions() {
+        let mut d = Dsu::new(10);
+        let mut merges = 0;
+        for i in 0..9 {
+            if d.union(i, i + 1) {
+                merges += 1;
+            }
+        }
+        assert_eq!(merges, 9);
+        assert_eq!(d.components(), 1);
+    }
+
+    #[test]
+    fn redundant_unions_are_noops() {
+        let mut d = Dsu::new(4);
+        d.union(0, 1);
+        d.union(1, 2);
+        d.union(2, 3);
+        for a in 0..4 {
+            for b in 0..4 {
+                assert!(!d.union(a, b));
+            }
+        }
+        assert_eq!(d.components(), 1);
+    }
+}

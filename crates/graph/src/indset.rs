@@ -1,0 +1,253 @@
+//! Independent-set heuristics and exact search.
+//!
+//! §7.3 of the paper reduces "maximum set of edge-disjoint Hamiltonian
+//! paths" to a maximum independent set in a conflict graph `G_S` whose
+//! vertices are difference-set element pairs. The authors "simply computed
+//! random maximal independent sets … within 30 random instances"; we
+//! reproduce that protocol ([`random_maximal`], [`best_of_random`]) and add
+//! an exact branch-and-bound solver ([`maximum`]) as an ablation and
+//! ground-truth check for small instances.
+
+use crate::graph::{Graph, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A maximal independent set obtained by greedy insertion in a random
+/// vertex order.
+pub fn random_maximal<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Vec<VertexId> {
+    let mut order: Vec<VertexId> = g.vertices().collect();
+    order.shuffle(rng);
+    greedy_in_order(g, &order)
+}
+
+/// Greedy maximal independent set following the given vertex order.
+pub fn greedy_in_order(g: &Graph, order: &[VertexId]) -> Vec<VertexId> {
+    let mut blocked = vec![false; g.num_vertices() as usize];
+    let mut set = Vec::new();
+    for &v in order {
+        if blocked[v as usize] {
+            continue;
+        }
+        set.push(v);
+        blocked[v as usize] = true;
+        for u in g.neighbors(v) {
+            blocked[u as usize] = true;
+        }
+    }
+    set.sort_unstable();
+    set
+}
+
+/// The best of `attempts` random maximal independent sets, stopping early
+/// if `target` (when given) is reached. Returns `(set, attempts_used)`.
+///
+/// This mirrors the paper's experimental protocol: "We were able to find a
+/// maximum independent set in `G_S` for all radixes within 30 random
+/// instances."
+pub fn best_of_random<R: Rng + ?Sized>(
+    g: &Graph,
+    attempts: usize,
+    target: Option<usize>,
+    rng: &mut R,
+) -> (Vec<VertexId>, usize) {
+    let mut best: Vec<VertexId> = Vec::new();
+    for i in 1..=attempts.max(1) {
+        let cand = random_maximal(g, rng);
+        if cand.len() > best.len() {
+            best = cand;
+        }
+        if let Some(t) = target {
+            if best.len() >= t {
+                return (best, i);
+            }
+        }
+    }
+    (best, attempts.max(1))
+}
+
+/// Exact maximum independent set by branch and bound with greedy-degree
+/// branching. Exponential worst case — intended for the small conflict
+/// graphs of this paper (at most a few thousand vertices would already be
+/// too big; we use it for `q <= 31`-ish instances and tests).
+pub fn maximum(g: &Graph) -> Vec<VertexId> {
+    let n = g.num_vertices() as usize;
+    let mut best: Vec<VertexId> = Vec::new();
+    let mut current: Vec<VertexId> = Vec::new();
+    let mut alive: Vec<bool> = vec![true; n];
+    branch(g, &mut alive, &mut current, &mut best);
+    best.sort_unstable();
+    best
+}
+
+fn branch(g: &Graph, alive: &mut [bool], current: &mut Vec<VertexId>, best: &mut Vec<VertexId>) {
+    let remaining: Vec<VertexId> =
+        (0..alive.len() as u32).filter(|&v| alive[v as usize]).collect();
+    if current.len() + remaining.len() <= best.len() {
+        return; // bound
+    }
+    if remaining.is_empty() {
+        if current.len() > best.len() {
+            *best = current.clone();
+        }
+        return;
+    }
+    // Pick the alive vertex of maximum alive-degree; either it is in the
+    // set (drop it and its neighbors) or it is not (drop it alone).
+    let v = *remaining
+        .iter()
+        .max_by_key(|&&v| g.neighbors(v).filter(|&u| alive[u as usize]).count())
+        .unwrap();
+    // Degree-0/1 vertices can always be taken greedily (standard reduction);
+    // handled implicitly by the branching below, so keep it simple.
+
+    // Branch 1: take v.
+    let mut removed = vec![v];
+    alive[v as usize] = false;
+    for u in g.neighbors(v) {
+        if alive[u as usize] {
+            alive[u as usize] = false;
+            removed.push(u);
+        }
+    }
+    current.push(v);
+    branch(g, alive, current, best);
+    current.pop();
+    for &u in &removed {
+        alive[u as usize] = true;
+    }
+
+    // Branch 2: exclude v (only worth exploring if v has alive neighbors;
+    // otherwise taking v is always at least as good).
+    if removed.len() > 1 {
+        alive[v as usize] = false;
+        branch(g, alive, current, best);
+        alive[v as usize] = true;
+    }
+}
+
+/// Verifies that `set` is independent in `g` (no two members adjacent).
+pub fn is_independent(g: &Graph, set: &[VertexId]) -> bool {
+    for (i, &u) in set.iter().enumerate() {
+        for &v in &set[i + 1..] {
+            if g.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Verifies that `set` is a *maximal* independent set (independent, and no
+/// vertex outside it can be added).
+pub fn is_maximal_independent(g: &Graph, set: &[VertexId]) -> bool {
+    if !is_independent(g, set) {
+        return false;
+    }
+    let member = {
+        let mut m = vec![false; g.num_vertices() as usize];
+        for &v in set {
+            m[v as usize] = true;
+        }
+        m
+    };
+    g.vertices().all(|v| member[v as usize] || g.neighbors(v).any(|u| member[u as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cycle(n: u32) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    #[test]
+    fn random_maximal_is_maximal() {
+        let g = cycle(11);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let s = random_maximal(&g, &mut rng);
+            assert!(is_maximal_independent(&g, &s));
+        }
+    }
+
+    #[test]
+    fn exact_on_cycles() {
+        // Max independent set of C_n is floor(n/2).
+        for n in 3..12u32 {
+            let g = cycle(n);
+            let s = maximum(&g);
+            assert!(is_independent(&g, &s));
+            assert_eq!(s.len() as u32, n / 2, "C_{n}");
+        }
+    }
+
+    #[test]
+    fn exact_on_complete_graph() {
+        let mut g = Graph::new(6);
+        for u in 0..6 {
+            for v in u + 1..6 {
+                g.add_edge(u, v);
+            }
+        }
+        assert_eq!(maximum(&g).len(), 1);
+    }
+
+    #[test]
+    fn exact_on_edgeless_graph() {
+        let g = Graph::new(5);
+        assert_eq!(maximum(&g), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn exact_on_petersen() {
+        // Petersen graph: independence number 4.
+        let mut g = Graph::new(10);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5); // outer cycle
+            g.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+            g.add_edge(i, 5 + i); // spokes
+        }
+        assert_eq!(maximum(&g).len(), 4);
+    }
+
+    #[test]
+    fn best_of_random_reaches_target() {
+        let g = cycle(20);
+        let mut rng = StdRng::seed_from_u64(42);
+        let (s, used) = best_of_random(&g, 200, Some(10), &mut rng);
+        assert_eq!(s.len(), 10);
+        assert!(used <= 200);
+        assert!(is_independent(&g, &s));
+    }
+
+    #[test]
+    fn best_of_random_without_target_uses_all_attempts() {
+        let g = cycle(9);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (_, used) = best_of_random(&g, 13, None, &mut rng);
+        assert_eq!(used, 13);
+    }
+
+    #[test]
+    fn greedy_in_order_deterministic() {
+        let g = cycle(6);
+        let order: Vec<u32> = (0..6).collect();
+        assert_eq!(greedy_in_order(&g, &order), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn independence_checkers() {
+        let g = cycle(5);
+        assert!(is_independent(&g, &[0, 2]));
+        assert!(!is_independent(&g, &[0, 1]));
+        assert!(is_maximal_independent(&g, &[0, 2]));
+        assert!(!is_maximal_independent(&g, &[0])); // 2 or 3 could be added
+    }
+}

@@ -1,0 +1,230 @@
+//! Backtracking graph isomorphism with invariant pruning.
+//!
+//! Used to *verify* Theorem 6.6 of the paper (the Singer graph `S_q` is
+//! isomorphic to the Erdős–Rényi polarity graph `ER_q`) on concrete
+//! instances. The search orders vertices by a refinement signature
+//! (degree + sorted neighbor degrees) and optionally respects a caller
+//! supplied vertex coloring (e.g. quadric / V1 / V2 classes, which any
+//! isomorphism must preserve because they are defined structurally).
+
+use crate::graph::{Graph, VertexId};
+
+/// Attempts to find an isomorphism `g -> h`, i.e. a bijection `f` with
+/// `{u,v} ∈ E(g) ⇔ {f(u),f(v)} ∈ E(h)`. Returns the mapping as a vector
+/// indexed by `g`-vertex, or `None` if the graphs are not isomorphic.
+///
+/// `colors`, when provided, gives `(color_g, color_h)` vertex classes that
+/// the mapping must preserve; supplying structurally-forced classes
+/// massively prunes the search.
+pub fn find_isomorphism(
+    g: &Graph,
+    h: &Graph,
+    colors: Option<(&[u32], &[u32])>,
+) -> Option<Vec<VertexId>> {
+    let n = g.num_vertices();
+    if n != h.num_vertices() || g.num_edges() != h.num_edges() {
+        return None;
+    }
+    if g.degree_sequence() != h.degree_sequence() {
+        return None;
+    }
+    if let Some((cg, ch)) = colors {
+        assert_eq!(cg.len(), n as usize);
+        assert_eq!(ch.len(), n as usize);
+        let mut sg = cg.to_vec();
+        let mut sh = ch.to_vec();
+        sg.sort_unstable();
+        sh.sort_unstable();
+        if sg != sh {
+            return None;
+        }
+    }
+
+    let sig_g = signatures(g, colors.map(|c| c.0));
+    let sig_h = signatures(h, colors.map(|c| c.1));
+    {
+        let mut a = sig_g.clone();
+        let mut b = sig_h.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        if a != b {
+            return None;
+        }
+    }
+
+    // Order g's vertices: rarest signature first, then by degree descending.
+    let mut order: Vec<VertexId> = (0..n).collect();
+    let mut sig_count = std::collections::HashMap::new();
+    for s in &sig_g {
+        *sig_count.entry(s.clone()).or_insert(0usize) += 1;
+    }
+    order.sort_by_key(|&v| (sig_count[&sig_g[v as usize]], std::cmp::Reverse(g.degree(v))));
+
+    let mut mapping: Vec<Option<VertexId>> = vec![None; n as usize];
+    let mut used: Vec<bool> = vec![false; n as usize];
+    if assign(g, h, &sig_g, &sig_h, &order, 0, &mut mapping, &mut used) {
+        Some(mapping.into_iter().map(Option::unwrap).collect())
+    } else {
+        None
+    }
+}
+
+/// Checks that `mapping` is an isomorphism `g -> h`.
+pub fn verify_isomorphism(g: &Graph, h: &Graph, mapping: &[VertexId]) -> bool {
+    let n = g.num_vertices() as usize;
+    if mapping.len() != n || h.num_vertices() as usize != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &m in mapping {
+        if (m as usize) >= n || seen[m as usize] {
+            return false;
+        }
+        seen[m as usize] = true;
+    }
+    if g.num_edges() != h.num_edges() {
+        return false;
+    }
+    g.edges().all(|(_, u, v)| h.has_edge(mapping[u as usize], mapping[v as usize]))
+}
+
+type Sig = (u32, u32, Vec<u32>);
+
+/// Per-vertex refinement signature: (color, degree, sorted neighbor degrees).
+fn signatures(g: &Graph, colors: Option<&[u32]>) -> Vec<Sig> {
+    g.vertices()
+        .map(|v| {
+            let mut nd: Vec<u32> = g.neighbors(v).map(|u| g.degree(u)).collect();
+            nd.sort_unstable();
+            (colors.map_or(0, |c| c[v as usize]), g.degree(v), nd)
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assign(
+    g: &Graph,
+    h: &Graph,
+    sig_g: &[Sig],
+    sig_h: &[Sig],
+    order: &[VertexId],
+    idx: usize,
+    mapping: &mut Vec<Option<VertexId>>,
+    used: &mut Vec<bool>,
+) -> bool {
+    if idx == order.len() {
+        return true;
+    }
+    let v = order[idx];
+    'cand: for w in h.vertices() {
+        if used[w as usize] || sig_g[v as usize] != sig_h[w as usize] {
+            continue;
+        }
+        // Consistency with already-mapped neighbors and non-neighbors.
+        for u in order[..idx].iter().copied() {
+            let mu = mapping[u as usize].unwrap();
+            if g.has_edge(v, u) != h.has_edge(w, mu) {
+                continue 'cand;
+            }
+        }
+        mapping[v as usize] = Some(w);
+        used[w as usize] = true;
+        if assign(g, h, sig_g, sig_h, order, idx + 1, mapping, used) {
+            return true;
+        }
+        mapping[v as usize] = None;
+        used[w as usize] = false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: u32) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    fn relabeled_cycle(n: u32, mult: u32) -> Graph {
+        // Cycle with vertices permuted by multiplication (mult coprime to n).
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge((i * mult) % n, ((i + 1) * mult) % n);
+        }
+        g
+    }
+
+    #[test]
+    fn cycle_isomorphic_to_relabeling() {
+        let g = cycle(7);
+        let h = relabeled_cycle(7, 3);
+        let m = find_isomorphism(&g, &h, None).expect("isomorphic");
+        assert!(verify_isomorphism(&g, &h, &m));
+    }
+
+    #[test]
+    fn cycle_not_isomorphic_to_path() {
+        let g = cycle(5);
+        let mut h = Graph::new(5);
+        for i in 0..4 {
+            h.add_edge(i, i + 1);
+        }
+        assert!(find_isomorphism(&g, &h, None).is_none());
+    }
+
+    #[test]
+    fn different_sizes_rejected() {
+        assert!(find_isomorphism(&cycle(5), &cycle(6), None).is_none());
+    }
+
+    #[test]
+    fn same_degree_sequence_but_not_isomorphic() {
+        // C6 vs two triangles: both 2-regular on 6 vertices.
+        let g = cycle(6);
+        let mut h = Graph::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            h.add_edge(u, v);
+        }
+        assert!(find_isomorphism(&g, &h, None).is_none());
+    }
+
+    #[test]
+    fn colors_must_match() {
+        let g = cycle(4);
+        let h = cycle(4);
+        let cg = [0u32, 1, 0, 1];
+        let ch_ok = [1u32, 0, 1, 0];
+        let ch_bad = [0u32, 0, 1, 1]; // adjacent same-colors differ structurally
+        let m = find_isomorphism(&g, &h, Some((&cg, &ch_ok))).expect("rotated coloring works");
+        assert!(verify_isomorphism(&g, &h, &m));
+        for (v, &w) in m.iter().enumerate() {
+            assert_eq!(cg[v], ch_ok[w as usize]);
+        }
+        assert!(find_isomorphism(&g, &h, Some((&cg, &ch_bad))).is_none());
+    }
+
+    #[test]
+    fn petersen_self_isomorphism() {
+        let mut g = Graph::new(10);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5);
+            g.add_edge(5 + i, 5 + (i + 2) % 5);
+            g.add_edge(i, 5 + i);
+        }
+        let m = find_isomorphism(&g, &g, None).unwrap();
+        assert!(verify_isomorphism(&g, &g, &m));
+    }
+
+    #[test]
+    fn verify_rejects_bad_mapping() {
+        let g = cycle(4);
+        assert!(!verify_isomorphism(&g, &g, &[0, 2, 1, 3])); // not edge-preserving
+        assert!(!verify_isomorphism(&g, &g, &[0, 0, 1, 2])); // not a bijection
+        assert!(!verify_isomorphism(&g, &g, &[0, 1, 2])); // wrong length
+    }
+}

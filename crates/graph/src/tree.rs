@@ -1,0 +1,354 @@
+//! Rooted spanning trees and their validation.
+//!
+//! The paper's allreduce embeddings are rooted spanning trees of the
+//! physical topology: reduction traffic flows leaf→root, broadcast traffic
+//! root→leaf. [`RootedTree`] is the shared representation used by the
+//! low-depth construction (Algorithm 3), the Hamiltonian-path construction
+//! (§7.2), the congestion model (Algorithm 1), and the simulator.
+
+use crate::graph::{EdgeId, Graph, VertexId};
+
+/// Validation failures for a would-be spanning tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// Wrong number of vertices relative to the host graph.
+    WrongOrder { tree: usize, graph: usize },
+    /// The root's parent entry must be `None`.
+    RootHasParent(VertexId),
+    /// A non-root vertex has no parent (tree not connected to the root).
+    MissingParent(VertexId),
+    /// Parent pointers contain a cycle through this vertex.
+    Cycle(VertexId),
+    /// A tree edge is not present in the host graph.
+    EdgeNotInGraph(VertexId, VertexId),
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::WrongOrder { tree, graph } => {
+                write!(f, "tree covers {tree} vertices but graph has {graph}")
+            }
+            TreeError::RootHasParent(r) => write!(f, "root {r} has a parent"),
+            TreeError::MissingParent(v) => write!(f, "non-root vertex {v} has no parent"),
+            TreeError::Cycle(v) => write!(f, "parent pointers cycle through {v}"),
+            TreeError::EdgeNotInGraph(u, v) => {
+                write!(f, "tree edge ({u},{v}) is not a graph edge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// A rooted tree over vertices `0..n`, stored as parent pointers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootedTree {
+    root: VertexId,
+    parent: Vec<Option<VertexId>>,
+    depth: Vec<u32>,
+}
+
+impl RootedTree {
+    /// Builds a tree from parent pointers, checking structural soundness
+    /// (single root, acyclic, fully connected to the root). Host-graph
+    /// membership of the edges is checked separately by
+    /// [`RootedTree::validate_spanning`].
+    pub fn from_parents(
+        root: VertexId,
+        parent: Vec<Option<VertexId>>,
+    ) -> Result<Self, TreeError> {
+        let n = parent.len();
+        if (root as usize) >= n {
+            return Err(TreeError::MissingParent(root));
+        }
+        if parent[root as usize].is_some() {
+            return Err(TreeError::RootHasParent(root));
+        }
+        // Resolve depths iteratively, detecting cycles and orphans.
+        let mut depth = vec![u32::MAX; n];
+        depth[root as usize] = 0;
+        for v0 in 0..n as u32 {
+            if depth[v0 as usize] != u32::MAX {
+                continue;
+            }
+            // Walk up until a resolved vertex, recording the chain.
+            let mut chain = Vec::new();
+            let mut cur = v0;
+            loop {
+                if depth[cur as usize] != u32::MAX {
+                    break;
+                }
+                if chain.contains(&cur) {
+                    return Err(TreeError::Cycle(cur));
+                }
+                chain.push(cur);
+                match parent[cur as usize] {
+                    Some(p) => {
+                        if (p as usize) >= n {
+                            return Err(TreeError::MissingParent(cur));
+                        }
+                        cur = p;
+                    }
+                    None => return Err(TreeError::MissingParent(cur)),
+                }
+            }
+            let mut d = depth[cur as usize];
+            for &v in chain.iter().rev() {
+                d += 1;
+                depth[v as usize] = d;
+            }
+        }
+        Ok(RootedTree { root, parent, depth })
+    }
+
+    /// Builds the tree induced by rooting a simple path at position
+    /// `root_index` (paper Lemma 7.17 roots Hamiltonian paths at their
+    /// midpoint to halve the depth).
+    ///
+    /// ```
+    /// use pf_graph::RootedTree;
+    /// let t = RootedTree::from_path(&[4, 1, 0, 2, 3], 2).unwrap();
+    /// assert_eq!(t.root(), 0);
+    /// assert_eq!(t.depth(), 2);
+    /// ```
+    pub fn from_path(path: &[VertexId], root_index: usize) -> Result<Self, TreeError> {
+        assert!(root_index < path.len(), "root index out of path bounds");
+        let n = path.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let mut parent = vec![None; n.max(path.len())];
+        for i in (1..=root_index).rev() {
+            parent[path[i - 1] as usize] = Some(path[i]);
+        }
+        for i in root_index..path.len() - 1 {
+            parent[path[i + 1] as usize] = Some(path[i]);
+        }
+        RootedTree::from_parents(path[root_index], parent)
+    }
+
+    /// The root vertex.
+    #[inline]
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+
+    /// Number of vertices the tree covers.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Parent of `v` (`None` for the root).
+    #[inline]
+    pub fn parent(&self, v: VertexId) -> Option<VertexId> {
+        self.parent[v as usize]
+    }
+
+    /// Depth of `v` (root = 0).
+    #[inline]
+    pub fn depth_of(&self, v: VertexId) -> u32 {
+        self.depth[v as usize]
+    }
+
+    /// Height of the tree: maximum vertex depth.
+    pub fn depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Iterator over tree edges as `(child, parent)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter_map(|(v, p)| p.map(|p| (v as VertexId, p)))
+    }
+
+    /// Children lists, indexable by vertex.
+    pub fn children(&self) -> Vec<Vec<VertexId>> {
+        let mut ch = vec![Vec::new(); self.parent.len()];
+        for (v, p) in self.edges() {
+            ch[p as usize].push(v);
+        }
+        ch
+    }
+
+    /// Leaves of the tree (vertices with no children). A single-vertex tree
+    /// has its root as a leaf.
+    pub fn leaves(&self) -> Vec<VertexId> {
+        let mut has_child = vec![false; self.parent.len()];
+        for (_, p) in self.edges() {
+            has_child[p as usize] = true;
+        }
+        (0..self.parent.len() as u32).filter(|&v| !has_child[v as usize]).collect()
+    }
+
+    /// The root-ward vertex path from `v` (inclusive) to the root (inclusive).
+    pub fn path_to_root(&self, v: VertexId) -> Vec<VertexId> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur as usize] {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// Checks that this tree spans `g`: same vertex set, and every tree edge
+    /// is a physical edge of `g`.
+    pub fn validate_spanning(&self, g: &Graph) -> Result<(), TreeError> {
+        if self.parent.len() != g.num_vertices() as usize {
+            return Err(TreeError::WrongOrder {
+                tree: self.parent.len(),
+                graph: g.num_vertices() as usize,
+            });
+        }
+        for (v, p) in self.edges() {
+            if !g.has_edge(v, p) {
+                return Err(TreeError::EdgeNotInGraph(v, p));
+            }
+        }
+        Ok(())
+    }
+
+    /// The host-graph edge ids used by this tree, sorted. Panics if an edge
+    /// is not in `g` (validate first).
+    pub fn edge_ids(&self, g: &Graph) -> Vec<EdgeId> {
+        let mut ids: Vec<EdgeId> = self
+            .edges()
+            .map(|(v, p)| g.edge_id(v, p).expect("tree edge missing from host graph"))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// Returns `true` if the trees are pairwise edge-disjoint in `g`.
+pub fn pairwise_edge_disjoint(trees: &[RootedTree], g: &Graph) -> bool {
+    let mut used = vec![false; g.num_edges() as usize];
+    for t in trees {
+        for id in t.edge_ids(g) {
+            if used[id as usize] {
+                return false;
+            }
+            used[id as usize] = true;
+        }
+    }
+    true
+}
+
+/// Per-edge congestion: the number of trees containing each physical edge
+/// (paper §5.1: "congestion on a link is equal to the number of trees
+/// containing the link").
+pub fn edge_congestion(trees: &[RootedTree], g: &Graph) -> Vec<u32> {
+    let mut c = vec![0u32; g.num_edges() as usize];
+    for t in trees {
+        for id in t.edge_ids(g) {
+            c[id as usize] += 1;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star(n: u32) -> Graph {
+        let mut g = Graph::new(n);
+        for v in 1..n {
+            g.add_edge(0, v);
+        }
+        g
+    }
+
+    #[test]
+    fn from_parents_valid() {
+        let t = RootedTree::from_parents(0, vec![None, Some(0), Some(0), Some(1)]).unwrap();
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.depth_of(3), 2);
+        assert_eq!(t.parent(3), Some(1));
+        assert_eq!(t.edges().count(), 3);
+        assert_eq!(t.leaves(), vec![2, 3]);
+        assert_eq!(t.path_to_root(3), vec![3, 1, 0]);
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let err = RootedTree::from_parents(0, vec![None, Some(2), Some(3), Some(1)]).unwrap_err();
+        assert!(matches!(err, TreeError::Cycle(_)));
+    }
+
+    #[test]
+    fn detects_root_with_parent() {
+        let err = RootedTree::from_parents(0, vec![Some(1), None]).unwrap_err();
+        assert_eq!(err, TreeError::RootHasParent(0));
+    }
+
+    #[test]
+    fn detects_orphan() {
+        // From 1, the chain hits vertex 2 whose parent is... none beyond root? craft:
+        let err = RootedTree::from_parents(0, vec![None, Some(1)]).unwrap_err();
+        assert!(matches!(err, TreeError::Cycle(1)));
+        let err2 = RootedTree::from_parents(0, vec![None, Some(5)]).unwrap_err();
+        assert!(matches!(err2, TreeError::MissingParent(_)));
+    }
+
+    #[test]
+    fn validate_against_graph() {
+        let g = star(4);
+        let ok = RootedTree::from_parents(0, vec![None, Some(0), Some(0), Some(0)]).unwrap();
+        assert!(ok.validate_spanning(&g).is_ok());
+        let bad = RootedTree::from_parents(0, vec![None, Some(0), Some(1), Some(0)]).unwrap();
+        assert_eq!(bad.validate_spanning(&g), Err(TreeError::EdgeNotInGraph(2, 1)));
+        let small = RootedTree::from_parents(0, vec![None, Some(0)]).unwrap();
+        assert!(matches!(small.validate_spanning(&g), Err(TreeError::WrongOrder { .. })));
+    }
+
+    #[test]
+    fn from_path_midpoint_root() {
+        // Path 3-1-4-0-2 rooted at index 2 (vertex 4): depth 2.
+        let t = RootedTree::from_path(&[3, 1, 4, 0, 2], 2).unwrap();
+        assert_eq!(t.root(), 4);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.parent(3), Some(1));
+        assert_eq!(t.parent(1), Some(4));
+        assert_eq!(t.parent(0), Some(4));
+        assert_eq!(t.parent(2), Some(0));
+    }
+
+    #[test]
+    fn from_path_end_root_depth() {
+        let t = RootedTree::from_path(&[0, 1, 2, 3], 0).unwrap();
+        assert_eq!(t.depth(), 3);
+        let t2 = RootedTree::from_path(&[0, 1, 2, 3], 3).unwrap();
+        assert_eq!(t2.depth(), 3);
+        assert_eq!(t2.root(), 3);
+    }
+
+    #[test]
+    fn disjointness_and_congestion() {
+        // Cycle of 4: two spanning trees sharing one edge.
+        let mut g = Graph::new(4);
+        for i in 0..4 {
+            g.add_edge(i, (i + 1) % 4);
+        }
+        let t1 = RootedTree::from_path(&[0, 1, 2, 3], 0).unwrap();
+        let t2 = RootedTree::from_path(&[1, 0, 3, 2], 0).unwrap();
+        assert!(t1.validate_spanning(&g).is_ok());
+        assert!(t2.validate_spanning(&g).is_ok());
+        assert!(!pairwise_edge_disjoint(&[t1.clone(), t2.clone()], &g));
+        let c = edge_congestion(&[t1, t2], &g);
+        // Edges: 0:(0,1) 1:(1,2) 2:(2,3) 3:(0,3).
+        // t1 uses {0,1,2}; t2 uses {(1,0),(0,3),(3,2)} = ids {0,3,2}.
+        assert_eq!(c, vec![2, 1, 2, 1]);
+    }
+
+    #[test]
+    fn children_lists() {
+        let t = RootedTree::from_parents(2, vec![Some(2), Some(2), None, Some(0)]).unwrap();
+        let ch = t.children();
+        assert_eq!(ch[2], vec![0, 1]);
+        assert_eq!(ch[0], vec![3]);
+        assert!(ch[1].is_empty());
+    }
+}

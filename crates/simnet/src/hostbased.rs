@@ -1,0 +1,396 @@
+//! Congestion-aware phase models of host-based allreduce baselines (§4.2,
+//! §8 of the paper).
+//!
+//! Host-based algorithms proceed in synchronous communication rounds; each
+//! round's point-to-point messages are routed minimally over the physical
+//! topology, and contended channels serialize (see
+//! [`crate::routing::phase_time`]). On top of link time, every round pays a
+//! per-phase software overhead — the protocol/memory-copy cost that
+//! in-network computing eliminates (§4.3: a single transfer from
+//! application memory to the network).
+//!
+//! Implemented baselines:
+//! * **Ring allreduce** (reduce-scatter + allgather around a ring) —
+//!   bandwidth-optimal per node, `2(N-1)` rounds,
+//! * **Recursive doubling** — latency-optimal, `log2 N` rounds of
+//!   full-vector exchanges,
+//! * **Rabenseifner** (recursive halving reduce-scatter + recursive
+//!   doubling allgather) — bandwidth-optimal on powers of two.
+
+use crate::routing::{phase_time, Routing};
+use pf_graph::{Graph, VertexId};
+
+/// Cost parameters of the host-based models.
+#[derive(Debug, Clone, Copy)]
+pub struct HostParams {
+    /// Per-hop pipeline latency (same unit as the cycle-level simulator).
+    pub hop_latency: u64,
+    /// Fixed software cost charged to every round (protocol stack, memory
+    /// staging). In-network trees pay this once, not per round.
+    pub phase_overhead: u64,
+}
+
+impl Default for HostParams {
+    fn default() -> Self {
+        HostParams { hop_latency: 4, phase_overhead: 200 }
+    }
+}
+
+fn ceil_div(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+/// Ring allreduce: `2(N-1)` rounds, each node passing a `⌈m/N⌉` chunk to
+/// its ring successor (node ids in order).
+pub fn ring_allreduce_time(g: &Graph, routing: &Routing, m: u64, p: HostParams) -> u64 {
+    let n = g.num_vertices() as u64;
+    if n <= 1 || m == 0 {
+        return 0;
+    }
+    let chunk = ceil_div(m, n);
+    let messages: Vec<(VertexId, VertexId, u64)> =
+        (0..n as u32).map(|i| (i, (i + 1) % n as u32, chunk)).collect();
+    let round = phase_time(g, routing, &messages, p.hop_latency) + p.phase_overhead;
+    2 * (n - 1) * round
+}
+
+/// Recursive doubling: pre/post rounds fold non-power-of-two stragglers
+/// onto the power-of-two core, then `log2(p)` rounds of full-`m` pairwise
+/// exchanges with partner `i XOR 2^k`.
+pub fn recursive_doubling_time(g: &Graph, routing: &Routing, m: u64, p: HostParams) -> u64 {
+    let n = g.num_vertices() as u64;
+    if n <= 1 || m == 0 {
+        return 0;
+    }
+    let pow = 1u64 << (63 - n.leading_zeros() as u64); // largest power of two <= n
+    let extras = n - pow;
+    let mut total = 0u64;
+
+    if extras > 0 {
+        // Stragglers send their vector down, and receive the result back.
+        let pre: Vec<(VertexId, VertexId, u64)> =
+            (0..extras as u32).map(|i| (pow as u32 + i, i, m)).collect();
+        let post: Vec<(VertexId, VertexId, u64)> =
+            (0..extras as u32).map(|i| (i, pow as u32 + i, m)).collect();
+        total += phase_time(g, routing, &pre, p.hop_latency) + p.phase_overhead;
+        total += phase_time(g, routing, &post, p.hop_latency) + p.phase_overhead;
+    }
+    let mut k = 1u64;
+    while k < pow {
+        let messages: Vec<(VertexId, VertexId, u64)> =
+            (0..pow as u32).map(|i| (i, i ^ k as u32, m)).collect();
+        total += phase_time(g, routing, &messages, p.hop_latency) + p.phase_overhead;
+        k <<= 1;
+    }
+    total
+}
+
+/// Rabenseifner's algorithm: recursive-halving reduce-scatter (message
+/// sizes `m/2, m/4, …`) followed by a recursive-doubling allgather
+/// (mirrored sizes), with the same straggler pre/post folding.
+pub fn rabenseifner_time(g: &Graph, routing: &Routing, m: u64, p: HostParams) -> u64 {
+    let n = g.num_vertices() as u64;
+    if n <= 1 || m == 0 {
+        return 0;
+    }
+    let pow = 1u64 << (63 - n.leading_zeros() as u64);
+    let extras = n - pow;
+    let mut total = 0u64;
+    if extras > 0 {
+        let pre: Vec<(VertexId, VertexId, u64)> =
+            (0..extras as u32).map(|i| (pow as u32 + i, i, m)).collect();
+        let post: Vec<(VertexId, VertexId, u64)> =
+            (0..extras as u32).map(|i| (i, pow as u32 + i, m)).collect();
+        total += phase_time(g, routing, &pre, p.hop_latency) + p.phase_overhead;
+        total += phase_time(g, routing, &post, p.hop_latency) + p.phase_overhead;
+    }
+    // Reduce-scatter: halving distances pow/2, pow/4, ..., 1 with sizes m/2, m/4, ...
+    let mut dist = pow / 2;
+    let mut size = ceil_div(m, 2);
+    while dist >= 1 {
+        let messages: Vec<(VertexId, VertexId, u64)> =
+            (0..pow as u32).map(|i| (i, i ^ dist as u32, size)).collect();
+        total += phase_time(g, routing, &messages, p.hop_latency) + p.phase_overhead;
+        if dist == 1 {
+            break;
+        }
+        dist /= 2;
+        size = ceil_div(size, 2);
+    }
+    // Allgather mirrors the reduce-scatter.
+    let mut dist = 1u64;
+    let mut size = ceil_div(m, pow);
+    while dist < pow {
+        let messages: Vec<(VertexId, VertexId, u64)> =
+            (0..pow as u32).map(|i| (i, i ^ dist as u32, size)).collect();
+        total += phase_time(g, routing, &messages, p.hop_latency) + p.phase_overhead;
+        dist *= 2;
+        size *= 2;
+    }
+    total
+}
+
+/// Multiported torus allreduce (§1.2's prior work [25, 30, 53]): the
+/// vector is split into `2n` slices, one per (dimension, direction) port;
+/// each slice runs a ring reduce-scatter + allgather along its
+/// dimension's rings, all ports concurrently. Dimension-partitioned links
+/// mean the concurrent rings never contend, so the schedule's time is the
+/// slowest dimension's ring time.
+///
+/// This is host-based: every node stages the full `m`-element working
+/// vector in memory each round — the "prohibitive for in-network
+/// computation" footprint the paper contrasts with the
+/// latency-bandwidth-product buffers of pipelined trees.
+pub fn multiported_torus_time(t: &pf_topo::torus::Torus, m: u64, p: HostParams) -> u64 {
+    let g = t.graph();
+    let routing = Routing::new(g);
+    let ports = t.radix() as u64;
+    if m == 0 || g.num_vertices() <= 1 {
+        return 0;
+    }
+    let slice = ceil_div(m, ports);
+    let mut worst = 0u64;
+    for (d, &k) in t.dims().iter().enumerate() {
+        if k <= 1 {
+            continue;
+        }
+        // One ring round along dimension d: every node sends its chunk of
+        // the slice to its +1 neighbor (the -1 direction's slice uses the
+        // opposite channels of the same links, also concurrently).
+        let chunk = ceil_div(slice, k as u64);
+        let msgs: Vec<(VertexId, VertexId, u64)> =
+            g.vertices().map(|v| (v, t.step(v, d), chunk)).collect();
+        let round = phase_time(g, &routing, &msgs, p.hop_latency) + p.phase_overhead;
+        // Reduce-scatter + allgather: 2(k - 1) rounds.
+        let total = 2 * (k as u64 - 1) * round;
+        worst = worst.max(total);
+    }
+    worst
+}
+
+/// Host-side working-memory footprint of the multiported torus schedule:
+/// each node holds its `m`-element vector plus a receive staging buffer of
+/// the largest in-flight chunk per port — `Θ(m)` overall.
+pub fn multiported_torus_memory_elems(t: &pf_topo::torus::Torus, m: u64) -> u64 {
+    let ports = t.radix() as u64;
+    let slice = ceil_div(m, ports.max(1));
+    let max_chunk = t
+        .dims()
+        .iter()
+        .map(|&k| ceil_div(slice, k as u64))
+        .max()
+        .unwrap_or(0);
+    m + ports * max_chunk
+}
+
+/// BlueConnect-style hierarchical allreduce (§8): split the nodes into
+/// `g ≈ √N` groups; run reduce-scatter rings inside each group
+/// concurrently, an allreduce ring across group leaders per chunk, then
+/// allgather rings inside each group. On a *flat* network with uniform
+/// links this stays gated by a single link's bandwidth — the §8 point the
+/// multi-tree solutions overcome.
+pub fn blueconnect_time(g: &Graph, routing: &Routing, m: u64, p: HostParams) -> u64 {
+    let n = g.num_vertices() as u64;
+    if n <= 1 || m == 0 {
+        return 0;
+    }
+    let groups = (1..=n).rev().find(|&x| x * x <= n).unwrap_or(1);
+    let group_size = n.div_ceil(groups);
+    let group_of = |v: u64| (v / group_size).min(groups - 1);
+    let members = |gi: u64| -> Vec<u32> {
+        (0..n).filter(|&v| group_of(v) == gi).map(|v| v as u32).collect()
+    };
+    let mut total = 0u64;
+
+    // Phase set 1: intra-group ring reduce-scatter (all groups concurrent).
+    let max_group = (0..groups).map(|gi| members(gi).len() as u64).max().unwrap();
+    let chunk1 = ceil_div(m, max_group.max(1));
+    for _round in 0..max_group.saturating_sub(1) {
+        let msgs: Vec<(VertexId, VertexId, u64)> = (0..groups)
+            .flat_map(|gi| {
+                let ms = members(gi);
+                let k = ms.len();
+                (0..k).map(move |i| (ms[i], ms[(i + 1) % k], chunk1)).collect::<Vec<_>>()
+            })
+            .filter(|&(s, d, _)| s != d)
+            .collect();
+        total += phase_time(g, routing, &msgs, p.hop_latency) + p.phase_overhead;
+    }
+
+    // Phase set 2: cross-group allreduce ring over same-rank members.
+    let chunk2 = ceil_div(chunk1, groups.max(1));
+    for _round in 0..2 * groups.saturating_sub(1) {
+        let msgs: Vec<(VertexId, VertexId, u64)> = (0..max_group)
+            .flat_map(|rank| {
+                (0..groups)
+                    .filter_map(|gi| {
+                        let ms = members(gi);
+                        let next = members((gi + 1) % groups);
+                        let s = *ms.get(rank as usize)?;
+                        let d = *next.get(rank as usize)?;
+                        Some((s, d, chunk2))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .filter(|&(s, d, _)| s != d)
+            .collect();
+        if msgs.is_empty() {
+            break;
+        }
+        total += phase_time(g, routing, &msgs, p.hop_latency) + p.phase_overhead;
+    }
+
+    // Phase set 3: intra-group ring allgather (mirror of phase set 1).
+    for _round in 0..max_group.saturating_sub(1) {
+        let msgs: Vec<(VertexId, VertexId, u64)> = (0..groups)
+            .flat_map(|gi| {
+                let ms = members(gi);
+                let k = ms.len();
+                (0..k).map(move |i| (ms[i], ms[(i + 1) % k], chunk1)).collect::<Vec<_>>()
+            })
+            .filter(|&(s, d, _)| s != d)
+            .collect();
+        total += phase_time(g, routing, &msgs, p.hop_latency) + p.phase_overhead;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_topo::PolarFly;
+
+    fn setup(q: u64) -> (Graph, Routing) {
+        let pf = PolarFly::new(q);
+        let g = pf.graph().clone();
+        let r = Routing::new(&g);
+        (g, r)
+    }
+
+    #[test]
+    fn zero_cases() {
+        let (g, r) = setup(3);
+        let p = HostParams::default();
+        assert_eq!(ring_allreduce_time(&g, &r, 0, p), 0);
+        assert_eq!(recursive_doubling_time(&g, &r, 0, p), 0);
+        assert_eq!(rabenseifner_time(&g, &r, 0, p), 0);
+    }
+
+    #[test]
+    fn ring_scales_linearly_in_n_rounds() {
+        let (g, r) = setup(3); // N = 13
+        let p = HostParams { hop_latency: 1, phase_overhead: 0 };
+        let t = ring_allreduce_time(&g, &r, 1300, p);
+        // 24 rounds; chunk 100. Each round's bottleneck channel carries at
+        // least one chunk.
+        assert!(t >= 24 * 100, "t = {t}");
+    }
+
+    #[test]
+    fn recursive_doubling_fewer_rounds_but_full_vectors() {
+        let (g, r) = setup(3);
+        let p = HostParams { hop_latency: 1, phase_overhead: 0 };
+        let small = 16;
+        // For small vectors, recursive doubling beats ring (fewer rounds).
+        let rd = recursive_doubling_time(&g, &r, small, p);
+        let ring = ring_allreduce_time(&g, &r, small, p);
+        assert!(rd < ring, "rd {rd} vs ring {ring}");
+    }
+
+    #[test]
+    fn ring_beats_doubling_for_large_vectors() {
+        let (g, r) = setup(5); // N = 31
+        let p = HostParams { hop_latency: 1, phase_overhead: 0 };
+        let big = 1_000_000;
+        let rd = recursive_doubling_time(&g, &r, big, p);
+        let ring = ring_allreduce_time(&g, &r, big, p);
+        assert!(ring < rd, "ring {ring} vs rd {rd}");
+    }
+
+    #[test]
+    fn rabenseifner_beats_doubling_for_large_vectors() {
+        let (g, r) = setup(5);
+        let p = HostParams { hop_latency: 1, phase_overhead: 0 };
+        let big = 1_000_000;
+        let rab = rabenseifner_time(&g, &r, big, p);
+        let rd = recursive_doubling_time(&g, &r, big, p);
+        assert!(rab < rd, "rab {rab} vs rd {rd}");
+    }
+
+    #[test]
+    fn multiported_torus_basics() {
+        use pf_topo::torus::Torus;
+        let t = Torus::new(&[4, 4]);
+        let p = HostParams { hop_latency: 1, phase_overhead: 0 };
+        assert_eq!(multiported_torus_time(&t, 0, p), 0);
+        // m elements over 4 ports, rings of 4: chunk = m/16 per round,
+        // 6 rounds -> ~6m/16 plus latency.
+        let m = 16_000;
+        let time = multiported_torus_time(&t, m, p);
+        let expect = 6 * (m / 16 + 1);
+        assert!(
+            (time as i64 - expect as i64).unsigned_abs() < 50,
+            "time {time} vs ~{expect}"
+        );
+        // Effective per-node bandwidth approaches radix-limited 16m/6m ≈ 2.67
+        // elements/cycle — below PolarFly's (q+1)/2 at comparable size.
+        let bw = m as f64 / time as f64;
+        assert!(bw > 2.2 && bw < 3.0, "bw {bw}");
+    }
+
+    #[test]
+    fn multiported_memory_is_order_m() {
+        use pf_topo::torus::Torus;
+        let t = Torus::new(&[4, 4]);
+        let m = 10_000;
+        let mem = multiported_torus_memory_elems(&t, m);
+        assert!(mem >= m);
+        assert!(mem < 2 * m);
+    }
+
+    #[test]
+    fn asymmetric_torus_gated_by_longest_dimension() {
+        use pf_topo::torus::Torus;
+        let p = HostParams { hop_latency: 1, phase_overhead: 0 };
+        let square = Torus::new(&[4, 4]);
+        let long = Torus::new(&[8, 3]); // longest ring 8 -> more rounds
+        let m = 24_000;
+        assert!(
+            multiported_torus_time(&long, m, p) > multiported_torus_time(&square, m, p),
+            "longer rings mean more rounds"
+        );
+    }
+
+    #[test]
+    fn blueconnect_zero_cases() {
+        let (g, r) = setup(3);
+        assert_eq!(blueconnect_time(&g, &r, 0, HostParams::default()), 0);
+    }
+
+    #[test]
+    fn blueconnect_improves_on_flat_ring_rounds_but_not_past_link_rate() {
+        // §8: hierarchical decomposition reduces round count versus a flat
+        // ring, but per-node goodput stays bounded by a single link — the
+        // limitation in-network multi-tree allreduce removes.
+        let (g, r) = setup(5); // N = 31
+        let p = HostParams { hop_latency: 1, phase_overhead: 100 };
+        let m = 100_000u64;
+        let bc = blueconnect_time(&g, &r, m, p);
+        let ring = ring_allreduce_time(&g, &r, m, p);
+        assert!(bc < ring, "blueconnect {bc} vs ring {ring}");
+        // Still gated near/below one element per cycle per node: total time
+        // can't beat m cycles by more than a small constant factor.
+        assert!(bc as f64 > 0.5 * m as f64, "bc {bc} too fast for a flat network");
+    }
+
+    #[test]
+    fn overhead_charged_per_phase() {
+        let (g, r) = setup(3);
+        let p0 = HostParams { hop_latency: 1, phase_overhead: 0 };
+        let p1 = HostParams { hop_latency: 1, phase_overhead: 1000 };
+        let n = g.num_vertices() as u64;
+        let m = 130;
+        let diff = ring_allreduce_time(&g, &r, m, p1) - ring_allreduce_time(&g, &r, m, p0);
+        assert_eq!(diff, 2 * (n - 1) * 1000);
+    }
+}

@@ -1,0 +1,39 @@
+//! Cycle-level in-network-computing simulator.
+//!
+//! This crate stands in for the hardware the paper targets (Intel
+//! PIUMA-style / Mellanox SHARP-style routers with streaming reduction
+//! engines). It implements the abstract router model of §4.4–§5.1:
+//!
+//! * every physical link is a pair of directed channels moving one element
+//!   ("flit") per cycle with a configurable pipeline latency,
+//! * each tree edge is a logical *stream* with its own virtual-channel
+//!   buffer at the receiver and credit-based flow control (buffers sized in
+//!   flits; full throughput needs `buffer ≥ latency + 1`, the
+//!   latency–bandwidth product the paper cites as the in-network memory
+//!   footprint),
+//! * overlapping streams on a directed channel share its bandwidth through
+//!   work-conserving round-robin arbitration — the physical realization of
+//!   the congestion model behind Algorithm 1,
+//! * reduction engines combine child streams with the local contribution at
+//!   link rate (the paper's "multiple reductions at link rate" assumption),
+//!   and the root turns the reduced stream around into a broadcast.
+//!
+//! The simulator checks numerical correctness of every delivered element
+//! and reports cycle counts, per-tree goodput and per-channel utilization,
+//! which the experiments compare against the Algorithm 1 predictions.
+//!
+//! [`hostbased`] adds congestion-aware phase models of classical host-based
+//! allreduce algorithms (ring, recursive doubling, Rabenseifner) as the
+//! baselines of the paper's §8 comparison.
+
+pub mod embedding;
+pub mod engine;
+pub mod hostbased;
+pub mod p2p;
+pub mod routing;
+pub mod stats;
+pub mod workload;
+
+pub use embedding::MultiTreeEmbedding;
+pub use engine::{Collective, SimConfig, SimReport, Simulator};
+pub use workload::Workload;

@@ -1,0 +1,106 @@
+//! Post-run statistics helpers over [`crate::engine::SimReport`].
+
+use crate::engine::SimReport;
+
+/// Summary of per-channel utilization across a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationSummary {
+    /// Channels that carried at least one flit.
+    pub active_channels: usize,
+    /// Total channels (2 × physical links).
+    pub total_channels: usize,
+    pub min_active: f64,
+    pub mean_active: f64,
+    pub max: f64,
+}
+
+/// Computes the utilization summary of a report.
+pub fn utilization_summary(r: &SimReport) -> UtilizationSummary {
+    let cycles = r.cycles.max(1) as f64;
+    let active: Vec<f64> = r
+        .channel_flits
+        .iter()
+        .filter(|&&f| f > 0)
+        .map(|&f| f as f64 / cycles)
+        .collect();
+    UtilizationSummary {
+        active_channels: active.len(),
+        total_channels: r.channel_flits.len(),
+        min_active: active.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY),
+        mean_active: if active.is_empty() {
+            0.0
+        } else {
+            active.iter().sum::<f64>() / active.len() as f64
+        },
+        max: r.max_channel_utilization,
+    }
+}
+
+/// Per-tree measured bandwidth: slice length over that tree's completion
+/// cycle (0 for empty slices).
+pub fn per_tree_bandwidth(r: &SimReport, sizes: &[u64]) -> Vec<f64> {
+    assert_eq!(sizes.len(), r.tree_completion.len());
+    sizes
+        .iter()
+        .zip(&r.tree_completion)
+        .map(|(&m, &c)| if c == 0 { 0.0 } else { m as f64 / c as f64 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MultiTreeEmbedding, SimConfig, Simulator, Workload};
+    use pf_graph::{Graph, RootedTree};
+
+    fn run() -> (SimReport, Vec<u64>) {
+        let mut g = Graph::new(4);
+        for i in 0..4 {
+            g.add_edge(i, (i + 1) % 4);
+        }
+        let t1 = RootedTree::from_path(&[0, 1, 2, 3], 0).unwrap();
+        let t2 = RootedTree::from_path(&[1, 0, 3, 2], 0).unwrap();
+        let sizes = vec![1000, 1000];
+        let emb = MultiTreeEmbedding::new(&g, &[t1, t2], &sizes);
+        let w = Workload::new(4, 2000);
+        (Simulator::new(&g, &emb, SimConfig::default()).run(&w), sizes)
+    }
+
+    #[test]
+    fn utilization_summary_sane() {
+        let (r, _) = run();
+        let s = utilization_summary(&r);
+        assert!(s.active_channels > 0);
+        assert!(s.active_channels <= s.total_channels);
+        assert!(s.min_active > 0.0);
+        assert!(s.min_active <= s.mean_active);
+        assert!(s.mean_active <= s.max + 1e-12);
+        assert!(s.max <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn per_tree_bandwidth_positive() {
+        let (r, sizes) = run();
+        let bw = per_tree_bandwidth(&r, &sizes);
+        assert_eq!(bw.len(), 2);
+        for b in bw {
+            assert!(b > 0.2 && b <= 1.0, "per-tree bw {b}");
+        }
+    }
+
+    #[test]
+    fn per_tree_bandwidth_zero_slice() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let t1 = RootedTree::from_path(&[0, 1, 2], 1).unwrap();
+        let t2 = RootedTree::from_path(&[0, 1, 2], 0).unwrap();
+        let sizes = vec![100, 0];
+        let emb = MultiTreeEmbedding::new(&g, &[t1, t2], &sizes);
+        let w = Workload::new(3, 100);
+        let r = Simulator::new(&g, &emb, SimConfig::default()).run(&w);
+        let bw = per_tree_bandwidth(&r, &sizes);
+        assert!(bw[0] > 0.0);
+        assert_eq!(bw[1], 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Deterministic allreduce workloads and their expected results.
+//!
+//! The paper's motivating workload is gradient allreduce in data-parallel
+//! training; numerically we only need an associative, commutative operator
+//! and per-node inputs whose global reduction we can check exactly, so the
+//! simulator reduces `u64` values with wrapping addition. Inputs come from
+//! a splittable hash of `(node, element)` — every element of every node is
+//! distinct, so misrouted or dropped flits are always detected.
+
+/// The reduction operator carried by the flits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceKind {
+    /// Wrapping `u64` addition — exact, order-independent; the default
+    /// validation workload (any lost or misrouted flit is detected).
+    WrappingU64,
+    /// IEEE `f64` addition over bit-cast payloads — the ML gradient case.
+    /// Association order differs between the reference sum and the tree
+    /// reduction, so validation uses a relative tolerance.
+    FloatF64,
+}
+
+/// A deterministic allreduce input: `m` elements per node.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    nodes: u32,
+    m: u64,
+    kind: ReduceKind,
+    expected: Vec<u64>,
+}
+
+/// SplitMix64 finalizer — a cheap, high-quality mixing function.
+#[inline]
+pub fn mix(node: u32, elem: u64) -> u64 {
+    let mut z = (node as u64) << 40 ^ elem ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A pseudo-random gradient value in `[-1, 1)` for `(node, elem)`.
+#[inline]
+pub fn mix_f64(node: u32, elem: u64) -> f64 {
+    (mix(node, elem) as i64 as f64) / (i64::MAX as f64 + 1.0)
+}
+
+impl Workload {
+    /// Builds the exact `u64` workload and precomputes the expected global
+    /// reduction for each element (wrapping sum over all nodes).
+    pub fn new(nodes: u32, m: u64) -> Self {
+        let mut expected = vec![0u64; m as usize];
+        for (k, slot) in expected.iter_mut().enumerate() {
+            let mut acc = 0u64;
+            for v in 0..nodes {
+                acc = acc.wrapping_add(mix(v, k as u64));
+            }
+            *slot = acc;
+        }
+        Workload { nodes, m, kind: ReduceKind::WrappingU64, expected }
+    }
+
+    /// Builds an `f64` gradient workload: per-node values in `[-1, 1)`
+    /// (bit-cast into the flit payload), expected sums in node order.
+    pub fn new_float(nodes: u32, m: u64) -> Self {
+        let mut expected = vec![0u64; m as usize];
+        for (k, slot) in expected.iter_mut().enumerate() {
+            let mut acc = 0.0f64;
+            for v in 0..nodes {
+                acc += mix_f64(v, k as u64);
+            }
+            *slot = acc.to_bits();
+        }
+        Workload { nodes, m, kind: ReduceKind::FloatF64, expected }
+    }
+
+    /// The reduction operator of this workload.
+    pub fn kind(&self) -> ReduceKind {
+        self.kind
+    }
+
+    /// Combines two flit payloads under the workload's operator.
+    #[inline]
+    pub fn combine(&self, a: u64, b: u64) -> u64 {
+        match self.kind {
+            ReduceKind::WrappingU64 => a.wrapping_add(b),
+            ReduceKind::FloatF64 => {
+                (f64::from_bits(a) + f64::from_bits(b)).to_bits()
+            }
+        }
+    }
+
+    /// Whether a delivered payload matches an expected one: exact for
+    /// `u64`, relative tolerance for `f64` (tree association order differs
+    /// from the reference sum's).
+    #[inline]
+    pub fn value_close(&self, got: u64, want: u64) -> bool {
+        match self.kind {
+            ReduceKind::WrappingU64 => got == want,
+            ReduceKind::FloatF64 => {
+                let (g, w) = (f64::from_bits(got), f64::from_bits(want));
+                let scale = w.abs().max(self.nodes as f64 * 1e-3);
+                (g - w).abs() <= 1e-9 * scale
+            }
+        }
+    }
+
+    /// Number of participating nodes.
+    pub fn nodes(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Vector length per node.
+    pub fn len(&self) -> u64 {
+        self.m
+    }
+
+    /// `true` iff the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// The input payload of `node` for global element `elem` (bit pattern
+    /// under the workload's operator).
+    #[inline]
+    pub fn input(&self, node: u32, elem: u64) -> u64 {
+        debug_assert!(node < self.nodes && elem < self.m);
+        match self.kind {
+            ReduceKind::WrappingU64 => mix(node, elem),
+            ReduceKind::FloatF64 => mix_f64(node, elem).to_bits(),
+        }
+    }
+
+    /// The expected allreduce output for global element `elem`.
+    #[inline]
+    pub fn expected(&self, elem: u64) -> u64 {
+        self.expected[elem as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_matches_manual_sum() {
+        let w = Workload::new(5, 16);
+        for k in 0..16u64 {
+            let manual = (0..5).fold(0u64, |acc, v| acc.wrapping_add(mix(v, k)));
+            assert_eq!(w.expected(k), manual);
+        }
+    }
+
+    #[test]
+    fn inputs_are_distinct() {
+        let w = Workload::new(8, 64);
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..8 {
+            for k in 0..64 {
+                assert!(seen.insert(w.input(v, k)), "collision at ({v},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_workload() {
+        let w = Workload::new(3, 0);
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn float_workload_expected_and_tolerance() {
+        let w = Workload::new_float(9, 32);
+        assert_eq!(w.kind(), ReduceKind::FloatF64);
+        for k in 0..32u64 {
+            let manual: f64 = (0..9).map(|v| mix_f64(v, k)).sum();
+            assert!(w.value_close(manual.to_bits(), w.expected(k)));
+            // A permuted-order sum is also accepted (associativity slack).
+            let permuted: f64 = (0..9).rev().map(|v| mix_f64(v, k)).sum();
+            assert!(w.value_close(permuted.to_bits(), w.expected(k)));
+            // A grossly wrong value is not.
+            assert!(!w.value_close((manual + 1.0).to_bits(), w.expected(k)));
+        }
+    }
+
+    #[test]
+    fn float_inputs_bounded() {
+        for v in 0..16 {
+            for k in 0..64 {
+                let x = mix_f64(v, k);
+                assert!((-1.0..1.0).contains(&x), "({v},{k}) -> {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn combine_dispatch() {
+        let wu = Workload::new(2, 1);
+        assert_eq!(wu.combine(u64::MAX, 1), 0); // wrapping
+        let wf = Workload::new_float(2, 1);
+        let a = 1.5f64.to_bits();
+        let b = 2.25f64.to_bits();
+        assert_eq!(f64::from_bits(wf.combine(a, b)), 3.75);
+    }
+
+    #[test]
+    fn mix_avalanche_spot_check() {
+        // Neighboring inputs differ in many bits.
+        let a = mix(0, 0);
+        let b = mix(0, 1);
+        let c = mix(1, 0);
+        assert!((a ^ b).count_ones() > 10);
+        assert!((a ^ c).count_ones() > 10);
+    }
+}

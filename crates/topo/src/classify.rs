@@ -1,0 +1,213 @@
+//! Quadric / V1 / V2 vertex taxonomy and the Table 1 census.
+//!
+//! The quadrics (self-orthogonal vertices) induce a three-way partition of
+//! `ER_q` (paper §6.1, Table 1):
+//!
+//! * `W(q)`: the `q + 1` quadrics,
+//! * `V1(q)`: the `q(q+1)/2` vertices adjacent to a quadric,
+//! * `V2(q)`: the `q(q-1)/2` vertices not adjacent to any quadric.
+//!
+//! The same classes can be read off the Singer construction (reflection
+//! points and their neighbors, Corollaries 6.8/6.9), which is what makes
+//! class-colored isomorphism checking possible in [`crate::iso`].
+
+use pf_graph::{Graph, VertexId};
+
+/// Vertex class in the quadric taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VertexClass {
+    /// Self-orthogonal vertex (`W(q)`).
+    Quadric,
+    /// Adjacent to at least one quadric (`V1(q)`).
+    V1,
+    /// Not adjacent to any quadric (`V2(q)`).
+    V2,
+}
+
+impl VertexClass {
+    /// A stable small integer encoding (used as an isomorphism color).
+    pub fn color(self) -> u32 {
+        match self {
+            VertexClass::Quadric => 0,
+            VertexClass::V1 => 1,
+            VertexClass::V2 => 2,
+        }
+    }
+}
+
+/// The classification of every vertex of a graph given its quadric set.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    classes: Vec<VertexClass>,
+}
+
+/// Classifies vertices of `g` given the quadric indicator. V1 = non-quadric
+/// adjacent to a quadric; V2 = the rest.
+pub fn classify(g: &Graph, is_quadric: &[bool]) -> Classification {
+    assert_eq!(is_quadric.len(), g.num_vertices() as usize);
+    let classes = g
+        .vertices()
+        .map(|v| {
+            if is_quadric[v as usize] {
+                VertexClass::Quadric
+            } else if g.neighbors(v).any(|u| is_quadric[u as usize]) {
+                VertexClass::V1
+            } else {
+                VertexClass::V2
+            }
+        })
+        .collect();
+    Classification { classes }
+}
+
+impl Classification {
+    /// Class of vertex `v`.
+    #[inline]
+    pub fn class(&self, v: VertexId) -> VertexClass {
+        self.classes[v as usize]
+    }
+
+    /// Per-vertex color vector (for isomorphism search).
+    pub fn colors(&self) -> Vec<u32> {
+        self.classes.iter().map(|c| c.color()).collect()
+    }
+
+    /// `(#W, #V1, #V2)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut w = 0;
+        let mut v1 = 0;
+        let mut v2 = 0;
+        for c in &self.classes {
+            match c {
+                VertexClass::Quadric => w += 1,
+                VertexClass::V1 => v1 += 1,
+                VertexClass::V2 => v2 += 1,
+            }
+        }
+        (w, v1, v2)
+    }
+
+    /// All vertices of a given class, sorted.
+    pub fn of_class(&self, want: VertexClass) -> Vec<VertexId> {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &c)| (c == want).then_some(v as VertexId))
+            .collect()
+    }
+
+    /// Counts the neighbors of `v` in each class: `(#W, #V1, #V2)`.
+    pub fn neighbor_counts(&self, g: &Graph, v: VertexId) -> (usize, usize, usize) {
+        let mut w = 0;
+        let mut v1 = 0;
+        let mut v2 = 0;
+        for u in g.neighbors(v) {
+            match self.classes[u as usize] {
+                VertexClass::Quadric => w += 1,
+                VertexClass::V1 => v1 += 1,
+                VertexClass::V2 => v2 += 1,
+            }
+        }
+        (w, v1, v2)
+    }
+}
+
+/// The full Table 1 census for an odd prime power `q`: global class counts
+/// and the per-class neighborhood profile. Returns a human-readable error
+/// naming the first violated entry.
+pub fn verify_table1(g: &Graph, cls: &Classification, q: u64) -> Result<(), String> {
+    if q.is_multiple_of(2) {
+        return Err(format!("Table 1 neighborhood rows assume odd q (got q = {q})"));
+    }
+    let (w, v1, v2) = cls.counts();
+    let expect = (
+        (q + 1) as usize,
+        (q * (q + 1) / 2) as usize,
+        (q * (q - 1) / 2) as usize,
+    );
+    if (w, v1, v2) != expect {
+        return Err(format!("class counts (W,V1,V2) = ({w},{v1},{v2}), expected {expect:?}"));
+    }
+    for v in g.vertices() {
+        let got = cls.neighbor_counts(g, v);
+        let want = match cls.class(v) {
+            VertexClass::Quadric => (0, q as usize, 0),
+            VertexClass::V1 => (2, ((q - 1) / 2) as usize, ((q - 1) / 2) as usize),
+            VertexClass::V2 => (0, q.div_ceil(2) as usize, q.div_ceil(2) as usize),
+        };
+        if got != want {
+            return Err(format!(
+                "vertex {v} ({:?}) has neighbor profile {got:?}, expected {want:?}",
+                cls.class(v)
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::er::PolarFly;
+
+    #[test]
+    fn table1_counts_all_small_odd_q() {
+        for q in [3u64, 5, 7, 9, 11, 13] {
+            let pf = PolarFly::new(q);
+            let quad: Vec<bool> =
+                pf.graph().vertices().map(|v| pf.is_quadric(v)).collect();
+            let cls = classify(pf.graph(), &quad);
+            verify_table1(pf.graph(), &cls, q).unwrap_or_else(|e| panic!("q={q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn even_q_counts_only() {
+        // Global cardinalities hold for even q too; neighbor rows don't.
+        for q in [4u64, 8, 16] {
+            let pf = PolarFly::new(q);
+            let quad: Vec<bool> =
+                pf.graph().vertices().map(|v| pf.is_quadric(v)).collect();
+            let cls = classify(pf.graph(), &quad);
+            let (w, v1, v2) = cls.counts();
+            assert_eq!(w as u64, q + 1, "q={q}");
+            assert_eq!((w + v1 + v2) as u64, q * q + q + 1, "q={q}");
+            assert!(verify_table1(pf.graph(), &cls, q).is_err());
+        }
+    }
+
+    #[test]
+    fn no_edges_between_quadrics_odd_q() {
+        // Property 1.2 (also the W row of Table 1: quadrics have 0 quadric
+        // neighbors) — odd q only; for even q the quadrics form a line.
+        for q in [3u64, 5, 7, 9] {
+            let pf = PolarFly::new(q);
+            let quads = pf.quadrics();
+            for (i, &u) in quads.iter().enumerate() {
+                for &v in &quads[i + 1..] {
+                    assert!(!pf.graph().has_edge(u, v), "q={q}: quadrics {u},{v} adjacent");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn of_class_partition() {
+        let pf = PolarFly::new(5);
+        let quad: Vec<bool> = pf.graph().vertices().map(|v| pf.is_quadric(v)).collect();
+        let cls = classify(pf.graph(), &quad);
+        let mut all: Vec<u32> = Vec::new();
+        all.extend(cls.of_class(VertexClass::Quadric));
+        all.extend(cls.of_class(VertexClass::V1));
+        all.extend(cls.of_class(VertexClass::V2));
+        all.sort_unstable();
+        assert_eq!(all, pf.graph().vertices().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn colors_encoding() {
+        assert_eq!(VertexClass::Quadric.color(), 0);
+        assert_eq!(VertexClass::V1.color(), 1);
+        assert_eq!(VertexClass::V2.color(), 2);
+    }
+}

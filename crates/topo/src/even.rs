@@ -1,0 +1,127 @@
+//! Even-`q` quadric structure: the nucleus.
+//!
+//! The paper's layout and low-depth trees are stated for odd prime powers
+//! (§6.1.1). In characteristic 2 the quadric polynomial degenerates —
+//! `x² + y² + z² = (x + y + z)²` — so the quadrics are exactly the points
+//! of the line `x + y + z = 0`, and all tangent lines pass through a
+//! single point, the *nucleus* `[1, 1, 1]`. This module exposes and
+//! verifies that structure; it is why Algorithm 2 does not transfer
+//! unchanged (the nucleus is adjacent to *all* `q + 1` quadrics, where odd
+//! `q` caps quadric-neighbor counts at 2 — compare Table 1), and it is the
+//! starting point for the even-`q` layout the paper mentions but does not
+//! construct.
+
+use crate::er::PolarFly;
+use pf_graph::VertexId;
+
+/// The nucleus of an even-`q` PolarFly: the unique vertex adjacent to all
+/// quadrics. Returns `None` for odd `q` (no such vertex exists there).
+pub fn nucleus(pf: &PolarFly) -> Option<VertexId> {
+    let quads = pf.quadrics();
+    let mut found = None;
+    for v in pf.graph().vertices() {
+        if pf.is_quadric(v) {
+            continue;
+        }
+        if quads.iter().all(|&w| pf.graph().has_edge(v, w)) {
+            debug_assert!(found.is_none(), "nucleus must be unique");
+            found = Some(v);
+        }
+    }
+    found
+}
+
+/// Structural facts of the characteristic-2 quadric configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvenQStructure {
+    pub nucleus: VertexId,
+    pub quadrics: Vec<VertexId>,
+    /// Count of quadric neighbors per non-quadric vertex (nucleus: `q+1`,
+    /// everyone else: exactly 1).
+    pub quadric_neighbor_histogram: Vec<(usize, usize)>,
+}
+
+/// Extracts and verifies the even-`q` structure. Errors on odd `q` or if
+/// an expected invariant fails (which would indicate a construction bug).
+pub fn even_q_structure(pf: &PolarFly) -> Result<EvenQStructure, String> {
+    let q = pf.q();
+    if q % 2 == 1 {
+        return Err(format!("q = {q} is odd; the nucleus exists only in characteristic 2"));
+    }
+    let nucleus =
+        nucleus(pf).ok_or_else(|| "no nucleus found in characteristic 2".to_string())?;
+    if pf.point(nucleus) != [1, 1, 1] {
+        return Err(format!("nucleus is {:?}, expected [1,1,1]", pf.point(nucleus)));
+    }
+    let quadrics = pf.quadrics();
+    // Quadrics are pairwise non-adjacent even in characteristic 2 (the
+    // line's points are self-orthogonal but not mutually orthogonal).
+    for (i, &u) in quadrics.iter().enumerate() {
+        for &v in &quadrics[i + 1..] {
+            if pf.graph().has_edge(u, v) {
+                return Err(format!("quadrics {u}, {v} adjacent"));
+            }
+        }
+    }
+    // Every non-quadric vertex except the nucleus touches exactly one
+    // quadric (its unique tangent through the nucleus).
+    let mut hist = std::collections::BTreeMap::new();
+    for v in pf.graph().vertices() {
+        if pf.is_quadric(v) {
+            continue;
+        }
+        let k = pf.graph().neighbors(v).filter(|&u| pf.is_quadric(u)).count();
+        *hist.entry(k).or_insert(0usize) += 1;
+        let expect = if v == nucleus { q as usize + 1 } else { 1 };
+        if k != expect {
+            return Err(format!("vertex {v} touches {k} quadrics, expected {expect}"));
+        }
+    }
+    Ok(EvenQStructure {
+        nucleus,
+        quadrics,
+        quadric_neighbor_histogram: hist.into_iter().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nucleus_exists_for_even_q() {
+        for q in [2u64, 4, 8, 16] {
+            let pf = PolarFly::new(q);
+            let s = even_q_structure(&pf).unwrap_or_else(|e| panic!("q={q}: {e}"));
+            assert_eq!(pf.point(s.nucleus), [1, 1, 1]);
+            assert_eq!(s.quadrics.len() as u64, q + 1);
+            // Histogram: one vertex (the nucleus) with q+1, q^2 - 1 with 1.
+            assert_eq!(
+                s.quadric_neighbor_histogram,
+                vec![(1, (q * q - 1) as usize), (q as usize + 1, 1)]
+            );
+        }
+    }
+
+    #[test]
+    fn no_nucleus_for_odd_q() {
+        for q in [3u64, 5, 7, 9] {
+            let pf = PolarFly::new(q);
+            assert_eq!(nucleus(&pf), None, "q={q}");
+            assert!(even_q_structure(&pf).is_err());
+        }
+    }
+
+    #[test]
+    fn quadrics_lie_on_the_all_ones_line() {
+        // w quadric <=> w . [1,1,1] = 0 in characteristic 2.
+        for q in [4u64, 8] {
+            let pf = PolarFly::new(q);
+            let gf = pf.field();
+            for v in pf.graph().vertices() {
+                let on_line = gf.dot3(pf.point(v), [1, 1, 1]) == 0;
+                assert_eq!(on_line, pf.is_quadric(v), "q={q} v={v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Explicit verification of Theorem 6.6: `S_q ≅ ER_q`.
+//!
+//! The isomorphism must map reflection points to quadrics (both are the
+//! structurally-defined "self-orthogonal" class), V1 to V1 and V2 to V2
+//! (Corollaries 6.8/6.9), so the search is run with class colors, which
+//! prunes it enough to be practical for the small instances the tests use.
+
+use crate::classify::{classify, Classification};
+use crate::er::PolarFly;
+use crate::singer::Singer;
+use pf_graph::iso::{find_isomorphism, verify_isomorphism};
+use pf_graph::VertexId;
+
+/// Classification of the Singer graph: reflection points play the role of
+/// quadrics.
+pub fn classify_singer(s: &Singer) -> Classification {
+    let refl: Vec<bool> = s.graph().vertices().map(|v| s.is_reflection(v)).collect();
+    classify(s.graph(), &refl)
+}
+
+/// Classification of the polarity graph from its quadric markers.
+pub fn classify_er(pf: &PolarFly) -> Classification {
+    let quad: Vec<bool> = pf.graph().vertices().map(|v| pf.is_quadric(v)).collect();
+    classify(pf.graph(), &quad)
+}
+
+/// Searches for an explicit isomorphism `S_q -> ER_q`, respecting vertex
+/// classes. Returns the vertex mapping if found.
+///
+/// Backtracking search: intended for small `q` (tests use `q <= 8`); the
+/// structural invariants (order, size, degree profile, diameter, unique
+/// 2-paths) are checked separately for large `q` by
+/// [`structural_invariants_match`].
+pub fn find_singer_er_isomorphism(s: &Singer, pf: &PolarFly) -> Option<Vec<VertexId>> {
+    let cs = classify_singer(s).colors();
+    let ce = classify_er(pf).colors();
+    let m = find_isomorphism(s.graph(), pf.graph(), Some((&cs, &ce)))?;
+    debug_assert!(verify_isomorphism(s.graph(), pf.graph(), &m));
+    Some(m)
+}
+
+/// Cheap structural invariants both constructions must share for equal `q`:
+/// order, size, degree sequence, quadric/reflection count, and the
+/// friendship-like unique-2-path property on a vertex sample.
+pub fn structural_invariants_match(s: &Singer, pf: &PolarFly) -> Result<(), String> {
+    let (gs, ge) = (s.graph(), pf.graph());
+    if gs.num_vertices() != ge.num_vertices() {
+        return Err(format!("orders differ: {} vs {}", gs.num_vertices(), ge.num_vertices()));
+    }
+    if gs.num_edges() != ge.num_edges() {
+        return Err(format!("sizes differ: {} vs {}", gs.num_edges(), ge.num_edges()));
+    }
+    if gs.degree_sequence() != ge.degree_sequence() {
+        return Err("degree sequences differ".to_string());
+    }
+    let (rw, rv1, rv2) = classify_singer(s).counts();
+    let (qw, qv1, qv2) = classify_er(pf).counts();
+    if (rw, rv1, rv2) != (qw, qv1, qv2) {
+        return Err(format!(
+            "class counts differ: Singer ({rw},{rv1},{rv2}) vs ER ({qw},{qv1},{qv2})"
+        ));
+    }
+    // Unique-2-path spot check on a deterministic vertex sample.
+    let n = gs.num_vertices();
+    let stride = (n / 16).max(1);
+    for g in [gs, ge] {
+        for u in (0..n).step_by(stride as usize) {
+            for v in (u + 1..n).step_by(stride as usize) {
+                if pf_graph::bfs::count_two_paths(g, u, v) > 1 {
+                    return Err(format!("more than one 2-path between {u} and {v}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_isomorphism_small_q() {
+        for q in [2u64, 3, 4, 5] {
+            let s = Singer::new(q);
+            let pf = PolarFly::new(q);
+            let m = find_singer_er_isomorphism(&s, &pf)
+                .unwrap_or_else(|| panic!("q={q}: no isomorphism found"));
+            assert!(verify_isomorphism(s.graph(), pf.graph(), &m), "q={q}");
+            // Class preservation: reflection points land on quadrics.
+            for v in s.graph().vertices() {
+                assert_eq!(
+                    s.is_reflection(v),
+                    pf.is_quadric(m[v as usize]),
+                    "q={q} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn structural_invariants_medium_q() {
+        for q in [7u64, 8, 9, 11, 13, 16] {
+            let s = Singer::new(q);
+            let pf = PolarFly::new(q);
+            structural_invariants_match(&s, &pf).unwrap_or_else(|e| panic!("q={q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn mismatched_q_rejected() {
+        let s = Singer::new(3);
+        let pf = PolarFly::new(4);
+        assert!(structural_invariants_match(&s, &pf).is_err());
+    }
+
+    #[test]
+    fn singer_classification_counts() {
+        for q in [3u64, 5, 7] {
+            let s = Singer::new(q);
+            let (w, v1, v2) = classify_singer(&s).counts();
+            assert_eq!(w as u64, q + 1);
+            assert_eq!(v1 as u64, q * (q + 1) / 2);
+            assert_eq!(v2 as u64, q * (q - 1) / 2);
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! The PolarFly modular layout — Algorithm 2 of the paper — and the
+//! Property 1–3 validators the low-depth tree construction relies on.
+//!
+//! For an odd prime power `q`, pick a *starter quadric* `w`. Its `q`
+//! neighbors become cluster *centers*; each cluster contains its center and
+//! the center's non-quadric neighbors. Together with the quadric cluster
+//! `W` this partitions all `N = q^2 + q + 1` vertices.
+
+use crate::er::PolarFly;
+use pf_graph::VertexId;
+
+/// One non-quadric cluster `C_i`: its center and full member list
+/// (center included, members sorted).
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// The center `v_i`, adjacent to every other member (Property 1.3).
+    pub center: VertexId,
+    /// All members including the center, sorted by vertex id.
+    pub members: Vec<VertexId>,
+}
+
+/// The computed layout: quadric cluster plus `q` non-quadric clusters.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    q: u64,
+    starter: VertexId,
+    quadrics: Vec<VertexId>,
+    clusters: Vec<Cluster>,
+    /// Cluster index per vertex; `None` for quadrics.
+    cluster_of: Vec<Option<u32>>,
+    /// Per cluster, the unique *non-starter* quadric adjacent to its center
+    /// (Lemma 7.2 / Corollary 7.3).
+    center_quadric: Vec<VertexId>,
+}
+
+impl Layout {
+    /// Runs Algorithm 2 on `pf` with the given starter quadric (defaults to
+    /// the smallest-id quadric). Fails for even `q` (the paper's layout is
+    /// stated for odd prime powers) or if `starter` is not a quadric.
+    pub fn new(pf: &PolarFly, starter: Option<VertexId>) -> Result<Self, String> {
+        let q = pf.q();
+        if q.is_multiple_of(2) {
+            return Err(format!(
+                "the PolarFly layout (Algorithm 2) is defined for odd prime powers; got q = {q}"
+            ));
+        }
+        let g = pf.graph();
+        let quadrics = pf.quadrics();
+        let starter = match starter {
+            Some(s) => {
+                if !pf.is_quadric(s) {
+                    return Err(format!("starter vertex {s} is not a quadric"));
+                }
+                s
+            }
+            None => quadrics[0],
+        };
+
+        let n = g.num_vertices() as usize;
+        let mut cluster_of: Vec<Option<u32>> = vec![None; n];
+        let mut clusters = Vec::with_capacity(q as usize);
+        for center in g.neighbors(starter) {
+            let idx = clusters.len() as u32;
+            let mut members = vec![center];
+            cluster_of[center as usize] = Some(idx);
+            for u in g.neighbors(center) {
+                if !pf.is_quadric(u) {
+                    members.push(u);
+                    if let Some(prev) = cluster_of[u as usize] {
+                        return Err(format!(
+                            "vertex {u} assigned to clusters {prev} and {idx}: layout is not a partition"
+                        ));
+                    }
+                    cluster_of[u as usize] = Some(idx);
+                }
+            }
+            members.sort_unstable();
+            clusters.push(Cluster { center, members });
+        }
+
+        // Every non-quadric must be covered (Lakhotia et al. proved
+        // Algorithm 2 adds each vertex to exactly one cluster).
+        for v in g.vertices() {
+            if !pf.is_quadric(v) && cluster_of[v as usize].is_none() {
+                return Err(format!("non-quadric vertex {v} not covered by any cluster"));
+            }
+        }
+
+        // w_i: the unique quadric neighbor of each center besides the starter.
+        let mut center_quadric = Vec::with_capacity(clusters.len());
+        for c in &clusters {
+            let mut others =
+                g.neighbors(c.center).filter(|&u| pf.is_quadric(u) && u != starter);
+            let wi = others
+                .next()
+                .ok_or_else(|| format!("center {} has no non-starter quadric neighbor", c.center))?;
+            if others.next().is_some() {
+                return Err(format!("center {} has multiple non-starter quadric neighbors", c.center));
+            }
+            center_quadric.push(wi);
+        }
+
+        Ok(Layout { q, starter, quadrics, clusters, cluster_of, center_quadric })
+    }
+
+    /// Field order `q`.
+    pub fn q(&self) -> u64 {
+        self.q
+    }
+
+    /// The starter quadric `w`.
+    pub fn starter(&self) -> VertexId {
+        self.starter
+    }
+
+    /// The quadric cluster `W`, sorted.
+    pub fn quadrics(&self) -> &[VertexId] {
+        &self.quadrics
+    }
+
+    /// The `q` non-quadric clusters.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// Cluster index of a non-quadric vertex (`None` for quadrics).
+    pub fn cluster_of(&self, v: VertexId) -> Option<u32> {
+        self.cluster_of[v as usize]
+    }
+
+    /// The unique non-starter quadric `w_i` adjacent to cluster `i`'s
+    /// center (Corollary 7.3).
+    pub fn center_quadric(&self, i: usize) -> VertexId {
+        self.center_quadric[i]
+    }
+
+    /// Whether `v` is a cluster center.
+    pub fn is_center(&self, v: VertexId) -> bool {
+        self.cluster_of(v)
+            .map(|i| self.clusters[i as usize].center == v)
+            .unwrap_or(false)
+    }
+
+    /// Property 1: cluster contents. Sizes, no quadric–quadric edges,
+    /// centers adjacent to all their members.
+    pub fn verify_property1(&self, pf: &PolarFly) -> Result<(), String> {
+        let q = self.q;
+        let g = pf.graph();
+        if self.quadrics.len() as u64 != q + 1 {
+            return Err(format!("|W| = {}, expected q + 1 = {}", self.quadrics.len(), q + 1));
+        }
+        for (i, c) in self.clusters.iter().enumerate() {
+            if c.members.len() as u64 != q {
+                return Err(format!("|C_{i}| = {}, expected q = {q}", c.members.len()));
+            }
+            for &m in &c.members {
+                if m != c.center && !g.has_edge(c.center, m) {
+                    return Err(format!("center {} not adjacent to member {m} of C_{i}", c.center));
+                }
+            }
+        }
+        let total: usize = self.quadrics.len() + self.clusters.iter().map(|c| c.members.len()).sum::<usize>();
+        if total as u64 != q * q + q + 1 {
+            return Err(format!("clusters cover {total} vertices, expected N = {}", q * q + q + 1));
+        }
+        for (i, &u) in self.quadrics.iter().enumerate() {
+            for &v in &self.quadrics[i + 1..] {
+                if g.has_edge(u, v) {
+                    return Err(format!("quadrics {u} and {v} are adjacent"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Property 2: connectivity between `W` and each `C_i`.
+    pub fn verify_property2(&self, pf: &PolarFly) -> Result<(), String> {
+        let q = self.q;
+        let g = pf.graph();
+        for (i, c) in self.clusters.iter().enumerate() {
+            let mut cross = 0u64;
+            for &w in &self.quadrics {
+                let adj: Vec<VertexId> =
+                    c.members.iter().copied().filter(|&m| g.has_edge(w, m)).collect();
+                if adj.len() != 1 {
+                    return Err(format!(
+                        "quadric {w} adjacent to {} vertices of C_{i}, expected exactly 1",
+                        adj.len()
+                    ));
+                }
+                cross += adj.len() as u64;
+            }
+            if cross != q + 1 {
+                return Err(format!("{cross} edges between W and C_{i}, expected q + 1 = {}", q + 1));
+            }
+            for &m in &c.members {
+                let quad_neighbors = g.neighbors(m).filter(|&u| pf.is_quadric(u)).count();
+                let is_v1 = quad_neighbors > 0;
+                if is_v1 && quad_neighbors != 2 {
+                    return Err(format!(
+                        "V1 vertex {m} in C_{i} adjacent to {quad_neighbors} quadrics, expected 2"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Property 3: connectivity between distinct non-quadric clusters.
+    pub fn verify_property3(&self, pf: &PolarFly) -> Result<(), String> {
+        let q = self.q;
+        let g = pf.graph();
+        for (i, ci) in self.clusters.iter().enumerate() {
+            for (j, cj) in self.clusters.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let mut cross = 0u64;
+                let mut unconnected: Vec<VertexId> = Vec::new();
+                for &m in &cj.members {
+                    let deg_to_ci =
+                        ci.members.iter().filter(|&&u| g.has_edge(u, m)).count() as u64;
+                    cross += deg_to_ci;
+                    if deg_to_ci == 0 {
+                        unconnected.push(m);
+                    }
+                }
+                if cross != q - 2 {
+                    return Err(format!(
+                        "{cross} edges between C_{i} and C_{j}, expected q - 2 = {}",
+                        q - 2
+                    ));
+                }
+                // Exactly the center v_j and one non-center u are isolated from C_i.
+                if unconnected.len() != 2 || !unconnected.contains(&cj.center) {
+                    return Err(format!(
+                        "C_{j} vertices without C_{i} edges: {unconnected:?} (expected center {} plus one non-center)",
+                        cj.center
+                    ));
+                }
+                let u = *unconnected.iter().find(|&&x| x != cj.center).unwrap();
+                // A non-starter quadric w' adjacent to both u and v_i.
+                let witness = self
+                    .quadrics
+                    .iter()
+                    .any(|&w| w != self.starter && g.has_edge(w, u) && g.has_edge(w, ci.center));
+                if !witness {
+                    return Err(format!(
+                        "no non-starter quadric adjacent to both {u} (in C_{j}) and center {} of C_{i}",
+                        ci.center
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lemma 7.2: the non-starter quadric neighbors of distinct centers are
+    /// distinct, so `i -> w_i` is a bijection onto the non-starter quadrics
+    /// (Corollary 7.3).
+    pub fn verify_center_quadric_bijection(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        for (i, &wi) in self.center_quadric.iter().enumerate() {
+            if wi == self.starter {
+                return Err(format!("w_{i} equals the starter quadric"));
+            }
+            if !seen.insert(wi) {
+                return Err(format!("non-starter quadric {wi} serves two centers"));
+            }
+        }
+        if seen.len() as u64 != self.q {
+            return Err(format!("{} distinct w_i, expected q = {}", seen.len(), self.q));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(q: u64) -> (PolarFly, Layout) {
+        let pf = PolarFly::new(q);
+        let l = Layout::new(&pf, None).unwrap();
+        (pf, l)
+    }
+
+    #[test]
+    fn properties_hold_small_odd_q() {
+        for q in [3u64, 5, 7, 9, 11, 13] {
+            let (pf, l) = layout(q);
+            l.verify_property1(&pf).unwrap_or_else(|e| panic!("q={q} P1: {e}"));
+            l.verify_property2(&pf).unwrap_or_else(|e| panic!("q={q} P2: {e}"));
+            l.verify_property3(&pf).unwrap_or_else(|e| panic!("q={q} P3: {e}"));
+            l.verify_center_quadric_bijection().unwrap_or_else(|e| panic!("q={q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn partition_is_complete_and_disjoint() {
+        let (pf, l) = layout(11);
+        let n = pf.graph().num_vertices();
+        let mut count = vec![0u32; n as usize];
+        for &w in l.quadrics() {
+            count[w as usize] += 1;
+        }
+        for c in l.clusters() {
+            for &m in &c.members {
+                count[m as usize] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c == 1), "every vertex in exactly one cluster");
+    }
+
+    #[test]
+    fn cluster_of_agrees_with_membership() {
+        let (pf, l) = layout(7);
+        for (i, c) in l.clusters().iter().enumerate() {
+            for &m in &c.members {
+                assert_eq!(l.cluster_of(m), Some(i as u32));
+            }
+            assert!(l.is_center(c.center));
+            for &m in &c.members {
+                if m != c.center {
+                    assert!(!l.is_center(m));
+                }
+            }
+        }
+        for &w in l.quadrics() {
+            assert_eq!(l.cluster_of(w), None);
+            assert!(!l.is_center(w));
+        }
+        assert_eq!(l.clusters().len() as u64, pf.q());
+    }
+
+    #[test]
+    fn every_starter_choice_works() {
+        let pf = PolarFly::new(5);
+        for s in pf.quadrics() {
+            let l = Layout::new(&pf, Some(s)).unwrap();
+            assert_eq!(l.starter(), s);
+            l.verify_property1(&pf).unwrap();
+            l.verify_property2(&pf).unwrap();
+            l.verify_property3(&pf).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_even_q() {
+        let pf = PolarFly::new(4);
+        assert!(Layout::new(&pf, None).is_err());
+    }
+
+    #[test]
+    fn rejects_non_quadric_starter() {
+        let pf = PolarFly::new(3);
+        let non_quad = pf.graph().vertices().find(|&v| !pf.is_quadric(v)).unwrap();
+        assert!(Layout::new(&pf, Some(non_quad)).is_err());
+    }
+
+    #[test]
+    fn center_quadrics_are_adjacent_to_centers() {
+        let (pf, l) = layout(9);
+        for (i, c) in l.clusters().iter().enumerate() {
+            let wi = l.center_quadric(i);
+            assert!(pf.is_quadric(wi));
+            assert_ne!(wi, l.starter());
+            assert!(pf.graph().has_edge(wi, c.center));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! PolarFly topology constructions (paper §6).
+//!
+//! Two independent constructions of the same diameter-2 topology:
+//!
+//! * [`er`]: the projective-geometry construction of the Erdős–Rényi
+//!   polarity graph `ER_q` — vertices are left-normalized 3-vectors over
+//!   `GF(q)`, edges join orthogonal vectors (§6.1),
+//! * [`singer`]: the Singer difference-set construction `S_q` — vertices
+//!   are `Z_N` residues (`N = q^2 + q + 1`), edges join `i, j` with
+//!   `(i + j) mod N` in the difference set (§6.2).
+//!
+//! [`mod@classify`] implements the quadric / V1 / V2 vertex taxonomy (Table 1),
+//! [`layout`] the modular cluster layout of Algorithm 2 with the Property
+//! 1–3 validators, and [`iso`] the explicit isomorphism checks of §6.3
+//! (Theorem 6.6, Corollaries 6.8/6.9).
+
+pub mod classify;
+pub mod er;
+pub mod even;
+pub mod iso;
+pub mod layout;
+pub mod metrics;
+pub mod singer;
+pub mod torus;
+
+pub use classify::{classify, Classification, VertexClass};
+pub use er::PolarFly;
+pub use layout::Layout;
+pub use singer::Singer;

@@ -1,0 +1,110 @@
+//! Network-quality metrics for PolarFly (§1.3 of the paper leans on these:
+//! diameter-2, path length, bisection-ish connectivity).
+
+use pf_graph::{bfs, Graph};
+
+/// Summary statistics of a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyMetrics {
+    pub vertices: u64,
+    pub edges: u64,
+    pub min_degree: u32,
+    pub max_degree: u32,
+    pub diameter: u16,
+    /// Average shortest-path length over ordered distinct pairs.
+    pub avg_path_length: f64,
+    /// Histogram of shortest-path lengths (index = hops, over unordered
+    /// distinct pairs).
+    pub path_length_histogram: Vec<u64>,
+}
+
+/// Computes metrics via all-pairs BFS. Panics on disconnected graphs.
+pub fn topology_metrics(g: &Graph) -> TopologyMetrics {
+    let n = g.num_vertices() as u64;
+    let mut hist: Vec<u64> = Vec::new();
+    let mut total = 0u128;
+    for u in g.vertices() {
+        let d = bfs::distances(g, u);
+        for v in u + 1..g.num_vertices() {
+            let x = d[v as usize];
+            assert!(x != bfs::UNREACHABLE, "graph must be connected");
+            if hist.len() <= x as usize {
+                hist.resize(x as usize + 1, 0);
+            }
+            hist[x as usize] += 1;
+            total += x as u128;
+        }
+    }
+    let pairs = n * (n - 1) / 2;
+    TopologyMetrics {
+        vertices: n,
+        edges: g.num_edges() as u64,
+        min_degree: g.min_degree(),
+        max_degree: g.max_degree(),
+        diameter: (hist.len().saturating_sub(1)) as u16,
+        avg_path_length: if pairs == 0 { 0.0 } else { total as f64 / pairs as f64 },
+        path_length_histogram: hist,
+    }
+}
+
+/// The fraction of vertex pairs at each distance — PolarFly's selling
+/// point is that almost all pairs sit at distance 2 with no pair beyond.
+pub fn path_length_fractions(m: &TopologyMetrics) -> Vec<f64> {
+    let pairs: u64 = m.path_length_histogram.iter().sum();
+    m.path_length_histogram
+        .iter()
+        .map(|&c| if pairs == 0 { 0.0 } else { c as f64 / pairs as f64 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::er::PolarFly;
+
+    #[test]
+    fn polarfly_metrics() {
+        for q in [3u64, 5, 7] {
+            let pf = PolarFly::new(q);
+            let m = topology_metrics(pf.graph());
+            assert_eq!(m.vertices, q * q + q + 1);
+            assert_eq!(m.edges, q * (q + 1) * (q + 1) / 2);
+            assert_eq!(m.diameter, 2);
+            assert_eq!(m.min_degree as u64, q);
+            assert_eq!(m.max_degree as u64, q + 1);
+            assert!(m.avg_path_length > 1.0 && m.avg_path_length < 2.0);
+            // Histogram: [0 pairs at distance 0? no — distinct pairs only]
+            assert_eq!(m.path_length_histogram[0], 0);
+            assert_eq!(m.path_length_histogram[1], m.edges);
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let pf = PolarFly::new(5);
+        let m = topology_metrics(pf.graph());
+        let f = path_length_fractions(&m);
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Most pairs at distance 2.
+        assert!(f[2] > f[1]);
+    }
+
+    #[test]
+    fn path_metrics_on_cycle() {
+        let mut g = pf_graph::Graph::new(6);
+        for i in 0..6 {
+            g.add_edge(i, (i + 1) % 6);
+        }
+        let m = topology_metrics(&g);
+        assert_eq!(m.diameter, 3);
+        assert_eq!(m.path_length_histogram, vec![0, 6, 6, 3]);
+        assert!((m.avg_path_length - (6.0 + 12.0 + 9.0) / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_rejected() {
+        let g = pf_graph::Graph::new(3);
+        topology_metrics(&g);
+    }
+}

@@ -1,0 +1,161 @@
+//! k-ary n-cube (torus) topologies — the comparison substrate for §1.2.
+//!
+//! The paper's introduction contrasts its in-network multi-tree allreduce
+//! with "prior works on multiported Allreduce on direct tori networks"
+//! ([25, 30, 53]): those exploit data parallelism with concurrent ring
+//! collectives along each dimension/direction, at the cost of host-side
+//! memory and many communication rounds. This module provides the torus
+//! itself; the multiported ring schedule lives in
+//! `pf_simnet::hostbased::multiported_torus_time`.
+
+use pf_graph::{Graph, VertexId};
+
+/// A torus with per-dimension extents `dims` (each ≥ 3 so the graph stays
+/// simple — extent 2 would create parallel edges).
+#[derive(Debug, Clone)]
+pub struct Torus {
+    dims: Vec<u32>,
+    graph: Graph,
+}
+
+impl Torus {
+    /// Builds the torus. Panics on empty `dims` or an extent < 3.
+    pub fn new(dims: &[u32]) -> Self {
+        assert!(!dims.is_empty(), "torus needs at least one dimension");
+        assert!(dims.iter().all(|&k| k >= 3), "extents must be >= 3 to avoid parallel edges");
+        let n: u64 = dims.iter().map(|&k| k as u64).product();
+        assert!(n <= u32::MAX as u64, "torus too large");
+        let mut graph = Graph::new(n as u32);
+        for v in 0..n as u32 {
+            let c = Self::coords_of(dims, v);
+            for (d, &k) in dims.iter().enumerate() {
+                let mut up = c.clone();
+                up[d] = (c[d] + 1) % k;
+                let u = Self::vertex_at(dims, &up);
+                if u != v {
+                    // Each undirected edge appears once (from its +1 side).
+                    if !graph.has_edge(v, u) {
+                        graph.add_edge(v, u);
+                    }
+                }
+            }
+        }
+        Torus { dims: dims.to_vec(), graph }
+    }
+
+    fn coords_of(dims: &[u32], v: VertexId) -> Vec<u32> {
+        let mut out = Vec::with_capacity(dims.len());
+        let mut rest = v;
+        for &k in dims {
+            out.push(rest % k);
+            rest /= k;
+        }
+        out
+    }
+
+    fn vertex_at(dims: &[u32], coords: &[u32]) -> VertexId {
+        let mut v = 0u32;
+        for (&k, &c) in dims.iter().zip(coords).rev() {
+            v = v * k + c;
+        }
+        v
+    }
+
+    /// Per-dimension extents.
+    pub fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.graph.num_vertices()
+    }
+
+    /// Router radix `2n` (two directions per dimension).
+    pub fn radix(&self) -> u32 {
+        2 * self.dims.len() as u32
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Coordinates of a vertex.
+    pub fn coords(&self, v: VertexId) -> Vec<u32> {
+        Self::coords_of(&self.dims, v)
+    }
+
+    /// Vertex at given coordinates.
+    pub fn vertex(&self, coords: &[u32]) -> VertexId {
+        assert_eq!(coords.len(), self.dims.len());
+        Self::vertex_at(&self.dims, coords)
+    }
+
+    /// The `+1` neighbor of `v` along dimension `d`.
+    pub fn step(&self, v: VertexId, d: usize) -> VertexId {
+        let mut c = self.coords(v);
+        c[d] = (c[d] + 1) % self.dims[d];
+        self.vertex(&c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_graph::bfs;
+
+    #[test]
+    fn sizes_and_regularity() {
+        let t = Torus::new(&[4, 5]);
+        assert_eq!(t.num_nodes(), 20);
+        assert_eq!(t.radix(), 4);
+        assert_eq!(t.graph().num_edges(), 40); // 2 edges per node
+        assert!(t.graph().vertices().all(|v| t.graph().degree(v) == 4));
+
+        let t3 = Torus::new(&[3, 3, 3]);
+        assert_eq!(t3.num_nodes(), 27);
+        assert_eq!(t3.radix(), 6);
+        // Extent-3 rings: each node's +1 and -1 neighbors are distinct.
+        assert!(t3.graph().vertices().all(|v| t3.graph().degree(v) == 6));
+    }
+
+    #[test]
+    fn diameter_is_sum_of_half_extents() {
+        let t = Torus::new(&[4, 6]);
+        assert_eq!(bfs::diameter(t.graph()), Some(2 + 3));
+        let t3 = Torus::new(&[3, 3, 3]);
+        assert_eq!(bfs::diameter(t3.graph()), Some(3));
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = Torus::new(&[3, 4, 5]);
+        for v in t.graph().vertices() {
+            assert_eq!(t.vertex(&t.coords(v)), v);
+        }
+    }
+
+    #[test]
+    fn step_walks_rings() {
+        let t = Torus::new(&[5, 3]);
+        for v in t.graph().vertices() {
+            for d in 0..2 {
+                let mut cur = v;
+                let k = t.dims()[d];
+                for _ in 0..k {
+                    let next = t.step(cur, d);
+                    assert!(t.graph().has_edge(cur, next));
+                    cur = next;
+                }
+                assert_eq!(cur, v, "ring closes after k steps");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 3")]
+    fn rejects_extent_two() {
+        Torus::new(&[2, 4]);
+    }
+}

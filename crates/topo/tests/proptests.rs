@@ -1,0 +1,93 @@
+//! Property-based tests for the topology constructions.
+
+use pf_graph::bfs;
+use pf_topo::{classify, Layout, PolarFly, Singer};
+use proptest::prelude::*;
+
+fn small_prime_power() -> impl Strategy<Value = u64> {
+    prop::sample::select(vec![3u64, 4, 5, 7, 8, 9, 11, 13])
+}
+
+fn small_odd_prime_power() -> impl Strategy<Value = u64> {
+    prop::sample::select(vec![3u64, 5, 7, 9, 11, 13])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn er_structure_invariants(q in small_prime_power()) {
+        let pf = PolarFly::new(q);
+        let g = pf.graph();
+        prop_assert_eq!(g.num_vertices() as u64, q * q + q + 1);
+        prop_assert_eq!(g.num_edges() as u64, q * (q + 1) * (q + 1) / 2);
+        prop_assert_eq!(bfs::diameter(g), Some(2));
+        prop_assert_eq!(pf.quadrics().len() as u64, q + 1);
+    }
+
+    #[test]
+    fn any_starter_gives_valid_layout(q in small_odd_prime_power(), pick in 0usize..16) {
+        let pf = PolarFly::new(q);
+        let quads = pf.quadrics();
+        let starter = quads[pick % quads.len()];
+        let layout = Layout::new(&pf, Some(starter)).unwrap();
+        prop_assert!(layout.verify_property1(&pf).is_ok());
+        prop_assert!(layout.verify_property2(&pf).is_ok());
+        prop_assert!(layout.verify_property3(&pf).is_ok());
+        prop_assert!(layout.verify_center_quadric_bijection().is_ok());
+    }
+
+    #[test]
+    fn translated_and_negated_difference_sets_build_valid_graphs(q in small_prime_power(), shift in 0u64..300, negate in any::<bool>()) {
+        // Difference sets are closed under translation and negation; the
+        // resulting Singer graphs keep every structural invariant.
+        let base = Singer::new(q);
+        let n = base.n();
+        let d: Vec<u64> = base
+            .difference_set()
+            .iter()
+            .map(|&x| {
+                let x = if negate { (n - x) % n } else { x };
+                (x + shift) % n
+            })
+            .collect();
+        let s = Singer::from_difference_set(q, d).unwrap();
+        prop_assert_eq!(s.graph().num_edges(), base.graph().num_edges());
+        prop_assert_eq!(s.reflection_points().len() as u64, q + 1);
+        prop_assert_eq!(bfs::diameter(s.graph()), Some(2));
+    }
+
+    #[test]
+    fn classification_independent_of_representation(q in small_prime_power()) {
+        // Quadric/V1/V2 class sizes agree between ER and Singer forms.
+        let pf = PolarFly::new(q);
+        let s = Singer::new(q);
+        let quad: Vec<bool> = pf.graph().vertices().map(|v| pf.is_quadric(v)).collect();
+        let refl: Vec<bool> = s.graph().vertices().map(|v| s.is_reflection(v)).collect();
+        let ce = classify(pf.graph(), &quad);
+        let cs = classify(s.graph(), &refl);
+        prop_assert_eq!(ce.counts(), cs.counts());
+    }
+
+    #[test]
+    fn two_path_uniqueness_on_random_pairs(q in small_prime_power(), a in 0u32..200, b in 0u32..200) {
+        let pf = PolarFly::new(q);
+        let g = pf.graph();
+        let n = g.num_vertices();
+        let (a, b) = (a % n, b % n);
+        if a != b {
+            let paths = bfs::count_two_paths(g, a, b);
+            prop_assert!(paths <= 1);
+            if !g.has_edge(a, b) {
+                prop_assert_eq!(paths, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_lookup_roundtrip(q in small_prime_power(), v in 0u32..200) {
+        let pf = PolarFly::new(q);
+        let v = v % pf.graph().num_vertices();
+        prop_assert_eq!(pf.vertex_of(pf.point(v)), Some(v));
+    }
+}

@@ -1,0 +1,66 @@
+//! Bring-your-own-topology: the embedding machinery, congestion model and
+//! simulator are generic over any connected [`pf_graph::Graph`] — PolarFly
+//! is where the *optimal tree sets* come from, not a requirement of the
+//! framework.
+//!
+//! This example builds a 2-D torus and a hypercube, embeds naive BFS tree
+//! sets on each, prices them with Algorithm 1, and executes them on the
+//! cycle-level simulator — then shows how far they sit from a real
+//! PolarFly plan of similar size.
+//!
+//! ```text
+//! cargo run --release --example custom_topology
+//! ```
+
+use pf_allreduce::baselines::k_bfs_trees;
+use pf_allreduce::congestion::assign_unit_bandwidth;
+use pf_allreduce::perf::optimal_split;
+use pf_allreduce::AllreducePlan;
+use pf_graph::{builders, Graph, RootedTree};
+use pf_simnet::{MultiTreeEmbedding, SimConfig, Simulator, Workload};
+use pf_topo::torus::Torus;
+
+fn run(name: &str, g: &Graph, trees: Vec<RootedTree>, m: u64) {
+    let a = assign_unit_bandwidth(g, &trees);
+    let sizes = optimal_split(m, &a.per_tree);
+    let emb = MultiTreeEmbedding::new(g, &trees, &sizes);
+    let w = Workload::new(g.num_vertices(), m);
+    let r = Simulator::new(g, &emb, SimConfig::default()).run(&w);
+    assert!(r.completed && r.mismatches == 0, "{name}: simulation must validate");
+    println!(
+        "{name:<26} {:>5} nodes  {:>2} trees  predicted {:>5.2} el/cy  measured {:>5.2}  maxcong {}",
+        g.num_vertices(),
+        trees.len(),
+        a.aggregate().to_f64(),
+        r.measured_bandwidth,
+        a.max_congestion
+    );
+}
+
+fn main() {
+    let m = 30_000u64;
+    println!("allreduce of {m} elements on arbitrary topologies (naive BFS tree sets):\n");
+
+    let torus = Torus::new(&[8, 8]);
+    run("8x8 torus, 4 BFS trees", torus.graph(), k_bfs_trees(torus.graph(), 4, 1), m);
+
+    let cube = builders::hypercube(6);
+    run("6-cube, 6 BFS trees", &cube, k_bfs_trees(&cube, 6, 2), m);
+
+    let pf = pf_topo::PolarFly::new(7);
+    run("PolarFly q=7, 7 BFS trees", pf.graph(), k_bfs_trees(pf.graph(), 7, 3), m);
+
+    println!("\nversus the paper's structured PolarFly plans:\n");
+    for plan in [
+        AllreducePlan::low_depth(7).unwrap(),
+        AllreducePlan::edge_disjoint(7, 30, 4).unwrap(),
+    ] {
+        run(
+            &format!("PolarFly q=7, {}", plan.solution.label()),
+            &plan.graph,
+            plan.trees.clone(),
+            m,
+        );
+    }
+    println!("\nthe structured trees extract most of the radix; naive sets leave it on the table.");
+}

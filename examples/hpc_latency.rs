@@ -1,0 +1,55 @@
+//! HPC scenario: latency-bound small reductions.
+//!
+//! Scientific codes (CG solvers, dot products) allreduce a handful of
+//! scalars per iteration; what matters is latency, not bandwidth (§1, §4.2
+//! of the paper). This example sweeps small vector sizes and shows where
+//! the depth-3 trees (Algorithm 3) beat the deep Hamiltonian trees, and by
+//! how much — the latency/bandwidth trade-off of §7.3.
+//!
+//! ```text
+//! cargo run --release --example hpc_latency [q]
+//! ```
+
+use pf_allreduce::AllreducePlan;
+use pf_simnet::{MultiTreeEmbedding, SimConfig, Simulator, Workload};
+
+fn cycles(plan: &AllreducePlan, m: u64) -> u64 {
+    let sizes = plan.split(m);
+    let emb = MultiTreeEmbedding::new(&plan.graph, &plan.trees, &sizes);
+    let w = Workload::new(plan.graph.num_vertices(), m);
+    let r = Simulator::new(&plan.graph, &emb, SimConfig::default()).run(&w);
+    assert!(r.completed && r.mismatches == 0);
+    r.cycles
+}
+
+fn main() {
+    let q: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(11);
+    let low = AllreducePlan::low_depth(q).expect("odd prime power q for the low-depth trees");
+    let ham = AllreducePlan::edge_disjoint(q, 30, 0xFA57).unwrap();
+
+    println!("== small-reduction latency on PolarFly ER_{q} ==");
+    println!(
+        "low-depth: {} trees, depth {} | Hamiltonian: {} trees, depth {}\n",
+        low.trees.len(),
+        low.depth,
+        ham.trees.len(),
+        ham.depth
+    );
+    println!("{:>8} {:>12} {:>14} {:>10}", "elems", "low-depth", "Hamiltonian", "winner");
+    let mut crossover: Option<u64> = None;
+    for m in [1u64, 2, 4, 8, 16, 64, 256, 1024, 4096, 16 * 1024, 64 * 1024] {
+        let l = cycles(&low, m);
+        let h = cycles(&ham, m);
+        let winner = if l <= h { "low-depth" } else { "Hamiltonian" };
+        if l > h && crossover.is_none() {
+            crossover = Some(m);
+        }
+        println!("{:>8} {:>12} {:>14} {:>10}", m, l, h, winner);
+    }
+    match crossover {
+        Some(m) => println!(
+            "\ncrossover near m = {m}: below it the depth-3 trees win on latency,\nabove it the optimal-bandwidth Hamiltonian trees win on throughput (§7.3)."
+        ),
+        None => println!("\nlow-depth won the whole sweep — push m higher to find the crossover."),
+    }
+}

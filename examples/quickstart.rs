@@ -1,0 +1,67 @@
+//! Quickstart: build both of the paper's allreduce solutions for one
+//! PolarFly, inspect their guarantees, and run one simulated allreduce.
+//!
+//! ```text
+//! cargo run --release --example quickstart [q]
+//! ```
+
+use pf_allreduce::{AllreducePlan, Rational};
+use pf_simnet::{MultiTreeEmbedding, SimConfig, Simulator, Workload};
+
+fn main() {
+    let q: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(7);
+    println!("PolarFly ER_{q}: {} routers of radix {}", q * q + q + 1, q + 1);
+    println!(
+        "optimal allreduce bandwidth (Corollary 7.1): {} x link bandwidth\n",
+        pf_allreduce::perf::optimal_bandwidth(q, Rational::ONE)
+    );
+
+    // --- Solution 1: low-depth trees (Algorithm 3) ---
+    match AllreducePlan::low_depth(q) {
+        Ok(plan) => {
+            println!("low-depth solution (§7.1):");
+            println!(
+                "  trees: {} | depth: {} | max link congestion: {}",
+                plan.trees.len(),
+                plan.depth,
+                plan.max_congestion
+            );
+            println!(
+                "  aggregate bandwidth: {} ({} of optimal)\n",
+                plan.aggregate,
+                plan.normalized_bandwidth()
+            );
+        }
+        Err(e) => println!("low-depth solution unavailable: {e}\n"),
+    }
+
+    // --- Solution 2: edge-disjoint Hamiltonian trees (§7.2) ---
+    let plan = AllreducePlan::edge_disjoint(q, 30, 42).expect("prime power radix");
+    println!("edge-disjoint Hamiltonian solution (§7.2):");
+    println!(
+        "  trees: {} | depth: {} | max link congestion: {}",
+        plan.trees.len(),
+        plan.depth,
+        plan.max_congestion
+    );
+    println!(
+        "  aggregate bandwidth: {} ({} of optimal)\n",
+        plan.aggregate,
+        plan.normalized_bandwidth()
+    );
+
+    // --- Execute one allreduce on the cycle-level simulator ---
+    let m = 10_000;
+    let sizes = plan.split(m);
+    let emb = MultiTreeEmbedding::new(&plan.graph, &plan.trees, &sizes);
+    let workload = Workload::new(plan.graph.num_vertices(), m);
+    let report = Simulator::new(&plan.graph, &emb, SimConfig::default()).run(&workload);
+
+    println!("simulated allreduce of {m} elements:");
+    println!("  completed: {} | wrong elements: {}", report.completed, report.mismatches);
+    println!(
+        "  cycles: {} | measured bandwidth: {:.2} elements/cycle (predicted {})",
+        report.cycles, report.measured_bandwidth, plan.aggregate
+    );
+    assert!(report.completed && report.mismatches == 0);
+}

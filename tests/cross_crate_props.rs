@@ -1,0 +1,177 @@
+//! Property-based tests over randomized inputs, spanning all crates.
+
+use pf_allreduce::congestion::assign_unit_bandwidth;
+use pf_allreduce::{perf, Rational};
+use pf_graph::{bfs, Graph, RootedTree};
+use pf_simnet::{MultiTreeEmbedding, SimConfig, Simulator, Workload};
+use proptest::prelude::*;
+
+/// Strategy: a random connected graph on `n` vertices (random spanning tree
+/// plus random extra edges), returned with its edge list.
+fn connected_graph(max_n: u32) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        let tree_parents = proptest::collection::vec(0u32..n, (n - 1) as usize);
+        let extras = proptest::collection::vec((0u32..n, 0u32..n), 0..(2 * n) as usize);
+        (Just(n), tree_parents, extras).prop_map(|(n, parents, extras)| {
+            let mut g = Graph::new(n);
+            for (i, &p) in parents.iter().enumerate() {
+                let v = i as u32 + 1;
+                let p = p % v; // parent among earlier vertices: connected
+                g.add_edge(v, p);
+            }
+            for (a, b) in extras {
+                if a != b && !g.has_edge(a, b) {
+                    g.add_edge(a, b);
+                }
+            }
+            g
+        })
+    })
+}
+
+/// BFS spanning tree of `g` rooted at `root`.
+fn bfs_tree(g: &Graph, root: u32) -> RootedTree {
+    let (_, parents) = bfs::tree(g, root);
+    RootedTree::from_parents(root, parents).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn algorithm1_aggregate_bounded_by_cut(g in connected_graph(12), roots in proptest::collection::vec(0u32..12, 1..4)) {
+        // The aggregate bandwidth of any tree set cannot exceed the
+        // minimum vertex-degree (every tree must cross every vertex cut).
+        let trees: Vec<RootedTree> =
+            roots.iter().map(|&r| bfs_tree(&g, r % g.num_vertices())).collect();
+        let a = assign_unit_bandwidth(&g, &trees);
+        prop_assert!(a.aggregate() <= Rational::from_int(g.min_degree() as i64));
+        // And by the trivial per-tree bound.
+        prop_assert!(a.aggregate() <= Rational::from_int(trees.len() as i64));
+        for b in &a.per_tree {
+            prop_assert!(b.is_positive());
+            prop_assert!(*b <= Rational::ONE);
+        }
+    }
+
+    #[test]
+    fn optimal_split_properties(m in 0u64..100_000, nums in proptest::collection::vec(1i64..20, 1..8)) {
+        let bw: Vec<Rational> = nums.iter().map(|&n| Rational::new(n, 7)).collect();
+        let sizes = perf::optimal_split(m, &bw);
+        prop_assert_eq!(sizes.len(), bw.len());
+        prop_assert_eq!(sizes.iter().sum::<u64>(), m);
+        // Proportionality within rounding: |m_i - m*B_i/total| < 1.
+        let total: Rational = bw.iter().copied().fold(Rational::ZERO, |a, b| a + b);
+        for (i, &s) in sizes.iter().enumerate() {
+            let exact = (Rational::from_int(m as i64) * bw[i] / total).to_f64();
+            prop_assert!((s as f64 - exact).abs() < 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn simulator_correct_on_random_graphs(g in connected_graph(9), root1 in 0u32..9, root2 in 0u32..9, m in 1u64..600) {
+        // Any pair of BFS spanning trees of a random connected graph must
+        // produce a correct allreduce, whatever the congestion pattern.
+        let n = g.num_vertices();
+        let t1 = bfs_tree(&g, root1 % n);
+        let t2 = bfs_tree(&g, root2 % n);
+        let half = m / 2;
+        let emb = MultiTreeEmbedding::new(&g, &[t1, t2], &[half, m - half]);
+        let w = Workload::new(n, m);
+        let r = Simulator::new(&g, &emb, SimConfig::default()).run(&w);
+        prop_assert!(r.completed);
+        prop_assert_eq!(r.mismatches, 0);
+        prop_assert!(r.max_channel_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn simulator_robust_to_config(m in 1u64..400, lat in 1u32..8, buf in 1usize..8, srcq in 1usize..4) {
+        // Correctness must hold for every flow-control configuration.
+        let mut g = Graph::new(6);
+        for i in 0..6 {
+            g.add_edge(i, (i + 1) % 6);
+        }
+        let t = bfs_tree(&g, 0);
+        let emb = MultiTreeEmbedding::new(&g, &[t], &[m]);
+        let w = Workload::new(6, m);
+        let cfg = SimConfig {
+            link_latency: lat,
+            vc_buffer: buf,
+            source_queue: srcq,
+            max_cycles: 10_000_000,
+            ..SimConfig::default()
+        };
+        let r = Simulator::new(&g, &emb, cfg).run(&w);
+        prop_assert!(r.completed);
+        prop_assert_eq!(r.mismatches, 0);
+    }
+
+    #[test]
+    fn rational_field_axioms(an in -50i64..50, ad in 1i64..20, bn in -50i64..50, bd in 1i64..20, cn in -50i64..50, cd in 1i64..20) {
+        let a = Rational::new(an, ad);
+        let b = Rational::new(bn, bd);
+        let c = Rational::new(cn, cd);
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+        prop_assert_eq!(a - a, Rational::ZERO);
+        if b != Rational::ZERO {
+            prop_assert_eq!(a / b * b, a);
+        }
+    }
+
+    #[test]
+    fn rational_ordering_matches_floats(an in -1_000_000i64..1_000_000, ad in 1i64..1_000_000, bn in -1_000_000i64..1_000_000, bd in 1i64..1_000_000) {
+        // The Euclidean comparison must agree with exact real ordering;
+        // f64 has enough precision for these ranges.
+        let a = Rational::new(an, ad);
+        let b = Rational::new(bn, bd);
+        let exact = (an as f64 / ad as f64).partial_cmp(&(bn as f64 / bd as f64)).unwrap();
+        if (an as f64 / ad as f64 - bn as f64 / bd as f64).abs() > 1e-9 {
+            prop_assert_eq!(a.cmp(&b), exact);
+        } else {
+            // Near-ties: at least consistency with subtraction.
+            prop_assert_eq!(a.cmp(&b), (a - b).cmp(&Rational::ZERO));
+        }
+    }
+
+    #[test]
+    fn random_tree_sets_respect_water_filling_invariant(g in connected_graph(10), k in 1usize..5) {
+        // Sum over edges of per-edge consumed bandwidth equals
+        // sum over trees of B_i * (n-1): conservation of assigned capacity.
+        let n = g.num_vertices();
+        let trees: Vec<RootedTree> = (0..k).map(|i| bfs_tree(&g, (i as u32 * 3) % n)).collect();
+        let a = assign_unit_bandwidth(&g, &trees);
+        let total_tree_capacity: Rational = a
+            .per_tree
+            .iter()
+            .map(|&b| b * Rational::from_int((n - 1) as i64))
+            .fold(Rational::ZERO, |x, y| x + y);
+        // Each edge carries sum of B_i over trees containing it, <= 1.
+        let mut per_edge = vec![Rational::ZERO; g.num_edges() as usize];
+        for (ti, t) in trees.iter().enumerate() {
+            for id in t.edge_ids(&g) {
+                per_edge[id as usize] += a.per_tree[ti];
+            }
+        }
+        for (e, &load) in per_edge.iter().enumerate() {
+            prop_assert!(load <= Rational::ONE, "edge {} overloaded: {}", e, load);
+        }
+        let consumed: Rational = per_edge.into_iter().fold(Rational::ZERO, |x, y| x + y);
+        prop_assert_eq!(consumed, total_tree_capacity);
+    }
+}
+
+#[test]
+fn workload_expected_is_consistent_across_sizes() {
+    // Deterministic workload: same (node, elem) input regardless of m.
+    let w1 = Workload::new(7, 10);
+    let w2 = Workload::new(7, 100);
+    for k in 0..10 {
+        assert_eq!(w1.expected(k), w2.expected(k));
+        for v in 0..7 {
+            assert_eq!(w1.input(v, k), w2.input(v, k));
+        }
+    }
+}

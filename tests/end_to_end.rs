@@ -1,0 +1,145 @@
+//! End-to-end pipeline tests: radix -> topology -> trees -> bandwidth model
+//! -> cycle-level simulation -> numerical validation.
+
+use pf_allreduce::{AllreducePlan, Rational};
+use pf_simnet::{MultiTreeEmbedding, SimConfig, Simulator, Workload};
+
+fn simulate(plan: &AllreducePlan, m: u64, cfg: SimConfig) -> pf_simnet::SimReport {
+    let sizes = plan.split(m);
+    assert_eq!(sizes.iter().sum::<u64>(), m);
+    let emb = MultiTreeEmbedding::new(&plan.graph, &plan.trees, &sizes);
+    let w = Workload::new(plan.graph.num_vertices(), m);
+    Simulator::new(&plan.graph, &emb, cfg).run(&w)
+}
+
+#[test]
+fn low_depth_full_pipeline() {
+    for q in [3u64, 5, 7, 9, 11] {
+        let plan = AllreducePlan::low_depth(q).unwrap();
+        assert_eq!(plan.trees.len() as u64, q);
+        assert_eq!(plan.depth, 3);
+        assert!(plan.max_congestion <= 2);
+
+        let m = 6000;
+        let r = simulate(&plan, m, SimConfig::default());
+        assert!(r.completed, "q={q}");
+        assert_eq!(r.mismatches, 0, "q={q}");
+        let ratio = r.measured_bandwidth / plan.aggregate.to_f64();
+        assert!(
+            ratio > 0.90 && ratio < 1.02,
+            "q={q}: measured/predicted = {ratio:.3}"
+        );
+    }
+}
+
+#[test]
+fn edge_disjoint_full_pipeline() {
+    for q in [3u64, 4, 5, 7, 8, 9] {
+        let plan = AllreducePlan::edge_disjoint(q, 30, 0xE2E ^ q).unwrap();
+        assert_eq!(plan.trees.len() as u64, (q + 1) / 2);
+        assert_eq!(plan.max_congestion, 1);
+        assert_eq!(plan.aggregate, Rational::from_int(plan.trees.len() as i64));
+
+        let m = 10_000;
+        let r = simulate(&plan, m, SimConfig::default());
+        assert!(r.completed, "q={q}");
+        assert_eq!(r.mismatches, 0, "q={q}");
+        // Deep trees pay ~2·depth·(latency+1) cycles of pipeline fill
+        // before streaming at the aggregate rate; bound the ratio by that.
+        let fill = 2.0 * plan.depth as f64 * 5.0;
+        let floor = 1.0 / (1.0 + fill * plan.aggregate.to_f64() / m as f64) - 0.05;
+        let ratio = r.measured_bandwidth / plan.aggregate.to_f64();
+        assert!(ratio > floor, "q={q}: measured/predicted = {ratio:.3} < floor {floor:.3}");
+    }
+}
+
+#[test]
+fn edge_disjoint_bandwidth_converges_with_message_size() {
+    let plan = AllreducePlan::edge_disjoint(5, 30, 7).unwrap();
+    let small = simulate(&plan, 1_000, SimConfig::default());
+    let large = simulate(&plan, 60_000, SimConfig::default());
+    assert!(large.measured_bandwidth > small.measured_bandwidth);
+    let ratio = large.measured_bandwidth / plan.aggregate.to_f64();
+    assert!(ratio > 0.97, "asymptotic ratio {ratio:.3}");
+}
+
+#[test]
+fn embedding_vc_requirements_match_congestion() {
+    // §5.1: VC count per link = worst-case congestion. Low-depth needs 2;
+    // edge-disjoint needs... 2 per directed channel as well (one tree's
+    // reduce + the other's broadcast can share a channel only when trees
+    // overlap; disjoint trees never share, so 1).
+    let low = AllreducePlan::low_depth(7).unwrap();
+    let emb = MultiTreeEmbedding::new(&low.graph, &low.trees, &low.split(700));
+    assert!(emb.max_channel_load() <= 2 * low.max_congestion as usize);
+    // Lemma 7.8's practical payoff: at most ONE reduce stream per input
+    // port, so one arithmetic engine per router port suffices.
+    assert_eq!(emb.max_reduce_streams_per_channel(), 1);
+
+    let ham = AllreducePlan::edge_disjoint(7, 30, 1).unwrap();
+    let emb = MultiTreeEmbedding::new(&ham.graph, &ham.trees, &ham.split(700));
+    assert_eq!(emb.max_channel_load(), 1);
+}
+
+#[test]
+fn simulation_respects_link_capacity() {
+    let plan = AllreducePlan::low_depth(5).unwrap();
+    let r = simulate(&plan, 4000, SimConfig::default());
+    assert!(r.completed);
+    assert!(r.max_channel_utilization <= 1.0 + 1e-9);
+    // Congested links should be nearly saturated in steady state.
+    assert!(r.max_channel_utilization > 0.8, "util = {}", r.max_channel_utilization);
+}
+
+#[test]
+fn predicted_time_model_tracks_simulation_ordering() {
+    // The Theorem 5.1 analytic model and the simulator must agree on who
+    // wins at the extremes of the message-size range.
+    let low = AllreducePlan::low_depth(7).unwrap();
+    let ham = AllreducePlan::edge_disjoint(7, 30, 1).unwrap();
+    let hop = Rational::from_int(4);
+
+    let tiny = 4u64;
+    assert!(low.predicted_time(tiny, hop) < ham.predicted_time(tiny, hop));
+    let tiny_low = simulate(&low, tiny, SimConfig::default()).cycles;
+    let tiny_ham = simulate(&ham, tiny, SimConfig::default()).cycles;
+    assert!(tiny_low < tiny_ham);
+
+    let big = 200_000u64;
+    assert!(ham.predicted_time(big, hop) < low.predicted_time(big, hop));
+    let big_low = simulate(&low, big, SimConfig::default()).cycles;
+    let big_ham = simulate(&ham, big, SimConfig::default()).cycles;
+    assert!(big_ham < big_low);
+}
+
+#[test]
+fn single_tree_is_the_bandwidth_floor() {
+    let single = AllreducePlan::single_tree(5).unwrap();
+    let r = simulate(&single, 5000, SimConfig::default());
+    assert!(r.completed);
+    assert!((r.measured_bandwidth - 1.0).abs() < 0.05);
+}
+
+#[test]
+fn different_seeds_still_optimal() {
+    for seed in [0u64, 1, 2, 0xDEAD, 0xBEEF] {
+        let plan = AllreducePlan::edge_disjoint(9, 30, seed).unwrap();
+        assert_eq!(plan.trees.len(), 5, "seed {seed}");
+        let r = simulate(&plan, 2000, SimConfig::default());
+        assert!(r.completed && r.mismatches == 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn tiny_buffers_still_correct_just_slower() {
+    let plan = AllreducePlan::low_depth(5).unwrap();
+    let fast = simulate(&plan, 3000, SimConfig::default());
+    let slow = simulate(
+        &plan,
+        3000,
+        SimConfig { vc_buffer: 1, ..SimConfig::default() },
+    );
+    assert!(fast.completed && slow.completed);
+    assert_eq!(slow.mismatches, 0);
+    assert!(slow.cycles > fast.cycles * 2, "starved run must be much slower");
+}
