@@ -15,6 +15,7 @@
 //!   totient         Corollary 7.20 path-count check
 //!   sim-bandwidth   SIM1 simulated vs analytic bandwidth
 //!   sim-crossover   SIM2 latency/bandwidth crossover vs baselines
+//!   sim-trace       traced runs: measured link congestion vs theory
 //!   sim-split       ablation: optimal vs equal sub-vector split
 //!   sim-buffers     ablation: VC buffer depth vs throughput
 //!   all             everything above
@@ -58,6 +59,7 @@ fn main() {
             11.min(max_q).max(3) | 1,
             &[1, 16, 256, 1024, 4096, 16_384, 65_536, 262_144],
         ),
+        "sim-trace" => sims::print_sim_trace(&sim_qs, opt_u64("--m", 20_000)),
         "sim-split" => sims::print_sim_split(7, opt_u64("--m", 20_000)),
         "sim-buffers" => sims::print_sim_buffers(7, opt_u64("--m", 20_000)),
         "sim-latency" => sims::print_sim_latency(&sim_qs),
@@ -120,6 +122,7 @@ fn main() {
             "totient",
             "sim-bandwidth",
             "sim-crossover",
+            "sim-trace",
             "sim-split",
             "sim-buffers",
             "sim-latency",

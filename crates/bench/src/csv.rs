@@ -1,7 +1,9 @@
 //! CSV export of the main result series, for external plotting.
 //!
 //! `experiments -- csv [--out DIR]` writes `fig5a.csv`, `fig5b.csv` and
-//! `crossover.csv` (the SIM2 series) into `DIR` (default `results/`).
+//! `crossover.csv` (the SIM2 series) into `DIR` (default `results/`),
+//! plus one traced simulator run exported as `trace_edge_disjoint.json`
+//! and `trace_channels.csv` (schema: `docs/OBSERVABILITY.md`).
 
 use crate::sims::crossover_rows;
 use crate::sweeps::fig5_point;
@@ -88,6 +90,19 @@ pub fn write_all(dir: &Path, max_q: u64) -> std::io::Result<Vec<PathBuf>> {
         &rows,
     )?;
     written.push(p);
+
+    // One traced edge-disjoint run on the crossover instance: the full
+    // JSON trace plus its per-channel CSV flattening, next to the series
+    // they explain (schema: docs/OBSERVABILITY.md).
+    let plan = pf_allreduce::AllreducePlan::edge_disjoint(cq, 30, 0xC0DE ^ cq).unwrap();
+    let (_, trace) =
+        crate::sims::simulate_plan_traced(&plan, *ms.last().unwrap(), Default::default());
+    let p = dir.join("trace_edge_disjoint.json");
+    std::fs::write(&p, trace.to_json())?;
+    written.push(p);
+    let p = dir.join("trace_channels.csv");
+    std::fs::write(&p, trace.channels_csv())?;
+    written.push(p);
     Ok(written)
 }
 
@@ -99,9 +114,17 @@ mod tests {
     fn writes_parsable_csv() {
         let dir = std::env::temp_dir().join("pf_csv_test");
         let written = write_all(&dir, 9).unwrap();
-        assert_eq!(written.len(), 3);
+        assert_eq!(written.len(), 5);
         for p in &written {
             let body = std::fs::read_to_string(p).unwrap();
+            if p.extension().is_some_and(|e| e == "json") {
+                // The trace dump must round-trip through the documented
+                // schema parser.
+                let trace = pf_simnet::TraceReport::from_json(&body).unwrap();
+                assert!(trace.total_flits > 0);
+                std::fs::remove_file(p).ok();
+                continue;
+            }
             let mut lines = body.lines();
             let header = lines.next().unwrap();
             let cols = header.split(',').count();

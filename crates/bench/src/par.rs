@@ -2,10 +2,9 @@
 //!
 //! The Figure 5 / §7.3 sweeps evaluate 43 independent prime powers; each
 //! point builds its own topology and trees, so they parallelize trivially.
-//! Workers steal indices from a shared atomic cursor (crossbeam scoped
-//! threads), and results land in order.
+//! Workers steal indices from a shared atomic cursor (`std::thread::scope`
+//! scoped threads), and results land in order.
 
-use crossbeam::thread;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -27,9 +26,9 @@ where
     }
     let cursor = AtomicUsize::new(0);
     let out: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -38,8 +37,7 @@ where
                 out.lock().unwrap()[i] = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     out.into_inner().unwrap().into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 

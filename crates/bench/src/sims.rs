@@ -7,7 +7,9 @@ use pf_simnet::hostbased::{
     blueconnect_time, rabenseifner_time, recursive_doubling_time, ring_allreduce_time, HostParams,
 };
 use pf_simnet::routing::Routing;
-use pf_simnet::{MultiTreeEmbedding, SimConfig, SimReport, Simulator, Workload};
+use pf_simnet::{
+    MultiTreeEmbedding, SimConfig, SimReport, Simulator, TraceConfig, TraceReport, Workload,
+};
 
 /// Runs one plan through the cycle-level simulator.
 pub fn simulate_plan(plan: &AllreducePlan, m: u64, cfg: SimConfig) -> SimReport {
@@ -15,6 +17,17 @@ pub fn simulate_plan(plan: &AllreducePlan, m: u64, cfg: SimConfig) -> SimReport 
     let emb = MultiTreeEmbedding::new(&plan.graph, &plan.trees, &sizes);
     let w = Workload::new(plan.graph.num_vertices(), m);
     Simulator::new(&plan.graph, &emb, cfg).run(&w)
+}
+
+/// Runs one plan with per-link counter tracing enabled
+/// (`docs/OBSERVABILITY.md`).
+pub fn simulate_plan_traced(plan: &AllreducePlan, m: u64, cfg: SimConfig) -> (SimReport, TraceReport) {
+    let sizes = plan.split(m);
+    let emb = MultiTreeEmbedding::new(&plan.graph, &plan.trees, &sizes);
+    let w = Workload::new(plan.graph.num_vertices(), m);
+    let (r, t) =
+        Simulator::new(&plan.graph, &emb, cfg).with_trace(TraceConfig::counters()).run_traced(&w);
+    (r, t.expect("tracing was enabled"))
 }
 
 /// Runs a plan with an explicit (possibly suboptimal) split.
@@ -57,6 +70,48 @@ pub fn print_sim_bandwidth(qs: &[u64], m: u64) {
         }
     }
     println!("(ratio < 1 reflects pipeline fill: deep Hamiltonian trees pay (N-1) hops before streaming)");
+}
+
+/// SIM: the observability cross-check — measured per-link congestion vs
+/// the Theorem 7.6/7.19 bounds, pipeline-model predicted cycles vs
+/// measured, and where the channel-cycles went.
+pub fn print_sim_trace(qs: &[u64], m: u64) {
+    use pf_simnet::stats::{congestion_vs_bound, stall_summary};
+    crate::print_header("SIM: traced runs — measured link congestion vs theory (Theorems 7.6/7.19)");
+    println!(
+        "{:>4} {:>14} {:>8} {:>6} {:>6} {:>10} {:>10} {:>7} {:>7}",
+        "q", "solution", "maxcong", "bound", "ok", "predicted", "measured", "busy%", "stall%"
+    );
+    let cfg = SimConfig::default();
+    for &q in qs {
+        let mut plans = vec![AllreducePlan::edge_disjoint(q, 30, 0x7ACE ^ q).unwrap()];
+        if q % 2 == 1 {
+            plans.insert(0, AllreducePlan::low_depth(q).unwrap());
+        }
+        for plan in &plans {
+            let (r, trace) = simulate_plan_traced(plan, m, cfg);
+            assert!(r.completed && r.mismatches == 0, "q={q} {}", plan.solution.label());
+            let cong = congestion_vs_bound(&trace, plan.max_congestion);
+            let stalls = stall_summary(&trace);
+            let accounted =
+                (stalls.busy_cycles + stalls.credit_stall_cycles + stalls.idle_cycles).max(1);
+            println!(
+                "{:>4} {:>14} {:>8} {:>6} {:>6} {:>10} {:>10} {:>6.1}% {:>6.1}%",
+                q,
+                plan.solution.label(),
+                cong.max_measured,
+                plan.max_congestion,
+                if cong.within_bound { "yes" } else { "NO" },
+                plan.predicted_cycles(m, cfg.link_latency as u64),
+                r.cycles,
+                100.0 * stalls.busy_fraction,
+                100.0 * stalls.credit_stall_cycles as f64 / accounted as f64
+            );
+            assert!(cong.within_bound, "q={q}: measured congestion above the theoretical bound");
+        }
+    }
+    println!("(no simulated link ever carries more concurrent streams than the paper's bound;");
+    println!(" the fill+drain pipeline model predicts the measured cycle count to ~1 cycle)");
 }
 
 /// SIM2 row: times for every scheme at one message size.

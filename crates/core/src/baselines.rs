@@ -173,7 +173,7 @@ mod tests {
         for q in [3u64, 5, 7] {
             let s = Singer::new(q);
             let greedy = greedy_edge_disjoint(s.graph(), q);
-            assert!(greedy.len() as u64 <= (q + 1) / 2, "q={q}");
+            assert!(greedy.len() as u64 <= q.div_ceil(2), "q={q}");
         }
     }
 

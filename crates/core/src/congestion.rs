@@ -15,7 +15,13 @@ use pf_graph::{Graph, RootedTree};
 pub struct BandwidthAssignment {
     /// Bandwidth `B_i` per tree, in the same order as the input set.
     pub per_tree: Vec<Rational>,
-    /// Worst-case link congestion over the whole embedding.
+    /// Congestion `C(e)` per undirected edge (graph edge-id order): how
+    /// many trees embed each link. This is the theoretical vector the
+    /// simulator's measured per-link congestion is checked against
+    /// (`tests/paper_claims.rs`).
+    pub per_edge: Vec<u32>,
+    /// Worst-case link congestion over the whole embedding
+    /// (`max(per_edge)`).
     pub max_congestion: u32,
 }
 
@@ -66,9 +72,10 @@ pub fn assign_bandwidth(
     }
 
     let mut avail = vec![link_bandwidth; ne]; // L(e)
-    let mut congestion: Vec<u32> =
-        edge_trees.iter().map(|ts| ts.len() as u32).collect(); // C(e)
-    let max_congestion = congestion.iter().copied().max().unwrap_or(0);
+    // C(e), captured before the water-filling loop decrements it.
+    let per_edge: Vec<u32> = edge_trees.iter().map(|ts| ts.len() as u32).collect();
+    let mut congestion = per_edge.clone();
+    let max_congestion = per_edge.iter().copied().max().unwrap_or(0);
 
     let mut bw = vec![Rational::ZERO; nt];
     let mut assigned = vec![false; nt];
@@ -110,7 +117,7 @@ pub fn assign_bandwidth(
         edge_alive[emin] = false;
     }
 
-    BandwidthAssignment { per_tree: bw, max_congestion }
+    BandwidthAssignment { per_tree: bw, per_edge, max_congestion }
 }
 
 /// Convenience wrapper with unit link bandwidth.
@@ -169,6 +176,10 @@ mod tests {
         assert_eq!(a.per_tree, vec![Rational::new(1, 2), Rational::new(1, 2)]);
         assert_eq!(a.aggregate(), Rational::ONE);
         assert_eq!(a.max_congestion, 2);
+        // Per-edge congestion: 01 and 23 shared (2), 12 and 03 private (1).
+        assert_eq!(a.per_edge.iter().filter(|&&c| c == 2).count(), 2);
+        assert_eq!(a.per_edge.iter().filter(|&&c| c == 1).count(), 2);
+        assert_eq!(a.per_edge.iter().copied().max(), Some(a.max_congestion));
     }
 
     #[test]

@@ -104,6 +104,8 @@ pub fn assign_bandwidth_weighted(
     let mut avail = vec![link_bandwidth; ne];
     let mut weight: Vec<u64> =
         (0..ne).map(|e| usages.iter().map(|u| u[e] as u64).sum()).collect();
+    // Weighted C(e), captured before water-filling decrements it.
+    let per_edge: Vec<u32> = weight.iter().map(|&w| w as u32).collect();
     let max_congestion = weight.iter().copied().max().unwrap_or(0) as u32;
 
     let mut bw = vec![Rational::ZERO; nt];
@@ -149,7 +151,7 @@ pub fn assign_bandwidth_weighted(
         edge_alive[emin] = false;
     }
 
-    BandwidthAssignment { per_tree: bw, max_congestion }
+    BandwidthAssignment { per_tree: bw, per_edge, max_congestion }
 }
 
 #[cfg(test)]
@@ -243,7 +245,7 @@ mod tests {
         let g = pf.graph();
         let t = LogicalTree::kary(g.num_vertices(), 2, 0);
         let u = route_usage(g, &t);
-        let a = assign_bandwidth_weighted(g, &[u.clone()], Rational::ONE);
+        let a = assign_bandwidth_weighted(g, std::slice::from_ref(&u), Rational::ONE);
         if u.iter().any(|&w| w > 1) {
             assert!(a.per_tree[0] < Rational::ONE);
         }

@@ -91,6 +91,23 @@ pub fn tree_latency(depth: u32, hop_latency: Rational) -> Rational {
     Rational::from_int(2 * depth as i64) * hop_latency
 }
 
+/// Cycle-accurate pipeline model of one tree's allreduce, matching the
+/// `pf-simnet` engine to within a cycle: a fill of `2·depth·L + 1` cycles
+/// (reduce up, broadcast down, plus the leaf's inject cycle), then a
+/// steady-state drain of `m_i` elements at the Algorithm 1 rate `b_i`.
+/// This is the per-tree prediction the observability layer compares
+/// against measured `tree_completion` cycles.
+pub fn predicted_tree_cycles(depth: u32, hop_latency: u64, m_i: u64, b_i: Rational) -> u64 {
+    if m_i == 0 {
+        return 0;
+    }
+    assert!(b_i.is_positive(), "tree bandwidth must be positive");
+    let fill = 2 * depth as u64 * hop_latency + 1;
+    let drain = Rational::from_int(m_i as i64) / b_i;
+    // Ceiling of a non-negative rational (numer >= 0, denom > 0).
+    fill + ((drain.numer() + drain.denom() - 1) / drain.denom()) as u64
+}
+
 /// Normalizes an aggregate bandwidth against the Corollary 7.1 optimum.
 pub fn normalized_bandwidth(aggregate: Rational, q: u64, b: Rational) -> Rational {
     aggregate / optimal_bandwidth(q, b)
@@ -177,6 +194,17 @@ mod tests {
     fn latency_model() {
         assert_eq!(tree_latency(3, Rational::from_int(10)), Rational::from_int(60));
         assert_eq!(tree_latency(0, Rational::from_int(10)), Rational::ZERO);
+    }
+
+    #[test]
+    fn predicted_cycles_fill_plus_drain() {
+        // depth 28, L = 4, 2500 elements at full rate: 2·28·4 + 1 + 2500.
+        assert_eq!(predicted_tree_cycles(28, 4, 2500, Rational::ONE), 2725);
+        // Half rate doubles the drain.
+        assert_eq!(predicted_tree_cycles(2, 4, 100, Rational::new(1, 2)), 17 + 200);
+        // Fractional drains round up.
+        assert_eq!(predicted_tree_cycles(0, 4, 10, Rational::new(3, 2)), 1 + 7);
+        assert_eq!(predicted_tree_cycles(5, 4, 0, Rational::ONE), 0);
     }
 
     #[test]

@@ -55,7 +55,11 @@ pub struct AllreducePlan {
     pub aggregate: Rational,
     /// Maximum tree depth (latency proxy).
     pub depth: u32,
-    /// Worst-case link congestion.
+    /// Theoretical congestion per undirected edge (graph edge-id order) —
+    /// how many trees embed each link. The observability layer compares
+    /// the simulator's measured per-link congestion against this vector.
+    pub edge_congestion: Vec<u32>,
+    /// Worst-case link congestion (`max(edge_congestion)`).
     pub max_congestion: u32,
 }
 
@@ -72,6 +76,7 @@ impl AllreducePlan {
             bandwidths: a.per_tree,
             aggregate,
             depth,
+            edge_congestion: a.per_edge,
             max_congestion: a.max_congestion,
         }
     }
@@ -132,6 +137,24 @@ impl AllreducePlan {
         let lats: Vec<Rational> =
             self.trees.iter().map(|t| perf::tree_latency(t.depth(), hop_latency)).collect();
         perf::allreduce_time(&sizes, &lats, &self.bandwidths)
+    }
+
+    /// Cycle-level prediction of the simulator's run time for an
+    /// `m`-element allreduce at integer hop latency: the slowest tree's
+    /// pipeline fill plus steady-state drain
+    /// ([`perf::predicted_tree_cycles`]). The observability examples print
+    /// this next to the measured cycle count (`docs/OBSERVABILITY.md`
+    /// walks through why measured bandwidth lands below the Theorem 5.1
+    /// asymptote at finite `m`).
+    pub fn predicted_cycles(&self, m: u64, hop_latency: u64) -> u64 {
+        let sizes = self.split(m);
+        self.trees
+            .iter()
+            .zip(&sizes)
+            .zip(&self.bandwidths)
+            .map(|((t, &mi), &bi)| perf::predicted_tree_cycles(t.depth(), hop_latency, mi, bi))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Picks the faster of the paper's two solutions for the given message
@@ -199,6 +222,30 @@ mod tests {
         assert_eq!(sizes.iter().sum::<u64>(), 10_000);
         // Equal bandwidths -> equal split.
         assert!(sizes.iter().all(|&s| s == 2500));
+    }
+
+    #[test]
+    fn edge_congestion_vector_consistent() {
+        let low = AllreducePlan::low_depth(7).unwrap();
+        assert_eq!(low.edge_congestion.len(), low.graph.num_edges() as usize);
+        assert_eq!(low.edge_congestion.iter().copied().max(), Some(low.max_congestion));
+        // Edge-disjoint trees: every used edge has congestion exactly 1.
+        let ham = AllreducePlan::edge_disjoint(7, 30, 9).unwrap();
+        assert!(ham.edge_congestion.iter().all(|&c| c <= 1));
+    }
+
+    #[test]
+    fn predicted_cycles_is_fill_plus_drain() {
+        // The quickstart case: q = 7 edge-disjoint, m = 10000, L = 4.
+        // 4 trees at B = 1, depth 28, slices of 2500:
+        // 2·28·4 + 1 + 2500 = 2725 cycles.
+        let p = AllreducePlan::edge_disjoint(7, 30, 9).unwrap();
+        assert_eq!(p.predicted_cycles(10_000, 4), 2725);
+        assert_eq!(p.predicted_cycles(0, 4), 0);
+        // The prediction refines the asymptotic Theorem 5.1 time: it can
+        // only exceed it (pipeline fill + integer rounding).
+        let model = p.predicted_time(10_000, Rational::from_int(4));
+        assert!(Rational::from_int(p.predicted_cycles(10_000, 4) as i64) >= model);
     }
 
     #[test]

@@ -40,7 +40,7 @@ proptest! {
         let s = Singer::new(q);
         let sol = find_edge_disjoint(&s, attempts, seed);
         prop_assert!(!sol.pairs.is_empty());
-        prop_assert!(sol.pairs.len() as u64 <= (q + 1) / 2);
+        prop_assert!(sol.pairs.len() as u64 <= q.div_ceil(2));
         prop_assert!(pairwise_edge_disjoint(&sol.trees, s.graph()));
         for t in &sol.trees {
             prop_assert!(t.validate_spanning(s.graph()).is_ok());

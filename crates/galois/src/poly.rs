@@ -325,7 +325,7 @@ mod tests {
         let (q, r) = a.divmod(&b, &gf);
         let back = q.mul(&b, &gf).add(&r, &gf);
         assert_eq!(back, a);
-        assert!(r.degree().map_or(true, |d| d < b.degree().unwrap()));
+        assert!(r.degree().is_none_or(|d| d < b.degree().unwrap()));
     }
 
     #[test]

@@ -254,11 +254,11 @@ mod tests {
     fn all_pairs_symmetry() {
         let g = cycle(5);
         let apd = all_pairs_distances(&g);
-        for u in 0..5usize {
-            for v in 0..5usize {
-                assert_eq!(apd[u][v], apd[v][u]);
+        for (u, row) in apd.iter().enumerate() {
+            for (v, &d) in row.iter().enumerate() {
+                assert_eq!(d, apd[v][u]);
             }
-            assert_eq!(apd[u][u], 0);
+            assert_eq!(row[u], 0);
         }
     }
 }

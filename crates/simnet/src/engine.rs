@@ -19,6 +19,7 @@
 //! credit-based flow control with `vc_buffer` credits.
 
 use crate::embedding::{MultiTreeEmbedding, Phase};
+use crate::trace::{EngineStall, TraceConfig, TraceReport, Tracer};
 use crate::workload::Workload;
 use pf_graph::Graph;
 use std::collections::VecDeque;
@@ -74,7 +75,10 @@ pub enum Collective {
 }
 
 /// Result of one simulated allreduce.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is derived so tests can assert that enabling tracing leaves
+/// the simulation bit-identical.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Total cycles until the last element was delivered everywhere.
     pub cycles: u64,
@@ -135,6 +139,7 @@ pub struct Simulator<'a> {
     rr: Vec<usize>, // round-robin pointer per channel
     channel_flits: Vec<u64>,
     max_vc_occupancy: usize,
+    tracer: Option<Tracer>,
 }
 
 impl<'a> Simulator<'a> {
@@ -187,7 +192,22 @@ impl<'a> Simulator<'a> {
         ];
         let rr = vec![0usize; emb.channel_streams.len()];
         let channel_flits = vec![0u64; emb.channel_streams.len()];
-        Simulator { emb, cfg, engines, streams, rr, channel_flits, max_vc_occupancy: 0 }
+        Simulator { emb, cfg, engines, streams, rr, channel_flits, max_vc_occupancy: 0, tracer: None }
+    }
+
+    /// Enables observability per `tcfg` (see [`crate::trace`]). With
+    /// [`TraceConfig::off`] (the default) no tracer is allocated and the
+    /// run is exactly the untraced one.
+    pub fn with_trace(mut self, tcfg: TraceConfig) -> Self {
+        self.tracer = tcfg.enabled.then(|| {
+            Tracer::new(
+                self.emb.streams.len(),
+                self.emb.channel_streams.len(),
+                self.emb.num_nodes as usize,
+                tcfg,
+            )
+        });
+        self
     }
 
     /// Runs the allreduce of `w` (which must match the embedding's node
@@ -197,7 +217,26 @@ impl<'a> Simulator<'a> {
     }
 
     /// Runs an arbitrary tree collective of `w` to completion and reports.
-    pub fn run_collective(mut self, w: &Workload, kind: Collective) -> SimReport {
+    pub fn run_collective(self, w: &Workload, kind: Collective) -> SimReport {
+        self.run_collective_traced(w, kind).0
+    }
+
+    /// Like [`Simulator::run`], additionally returning the trace when one
+    /// was enabled via [`Simulator::with_trace`].
+    pub fn run_traced(self, w: &Workload) -> (SimReport, Option<TraceReport>) {
+        self.run_collective_traced(w, Collective::Allreduce)
+    }
+
+    /// Like [`Simulator::run_collective`], additionally returning the
+    /// trace when one was enabled via [`Simulator::with_trace`].
+    ///
+    /// Tracing is purely observational: the `SimReport` is identical
+    /// whether or not a tracer is attached.
+    pub fn run_collective_traced(
+        mut self,
+        w: &Workload,
+        kind: Collective,
+    ) -> (SimReport, Option<TraceReport>) {
         assert_eq!(w.nodes(), self.emb.num_nodes);
         assert_eq!(w.len(), self.emb.total_len);
 
@@ -224,6 +263,9 @@ impl<'a> Simulator<'a> {
         let mut tree_deliveries = vec![0u64; self.emb.trees.len()];
         let mut engine_budget = vec![0u32; self.emb.num_nodes as usize];
         let mut inject_budget = vec![0u32; self.emb.num_nodes as usize];
+        // Detach the tracer from `self` so counter updates don't alias the
+        // stream/engine borrows below. `None` when tracing is off.
+        let mut tracer = self.tracer.take();
 
         let mut cycle = 0u64;
         while deliveries < total_deliveries && cycle < self.cfg.max_cycles {
@@ -302,6 +344,24 @@ impl<'a> Simulator<'a> {
                             || eng.bcast_out.iter().all(|&s| {
                                 self.streams[s as usize].sendq.len() < self.cfg.source_queue
                             });
+                        if let Some(tr) = tracer.as_mut() {
+                            if !(engine_free && inject_free && inputs_ready && out_ok && bcast_ok)
+                            {
+                                // Attribute the stall: missing inputs first
+                                // (most fundamental), then budget, then a
+                                // blocked output path.
+                                let why = if !inputs_ready {
+                                    EngineStall::InputStarved
+                                } else if !engine_free || !inject_free {
+                                    EngineStall::Budget
+                                } else {
+                                    EngineStall::OutputBlocked
+                                };
+                                tr.engine_stalled(v as usize, why);
+                            } else {
+                                tr.reduction_fired(v as usize);
+                            }
+                        }
                         if engine_free && inject_free && inputs_ready && out_ok && bcast_ok {
                             if self.cfg.max_reductions_per_router.is_some() {
                                 engine_budget[v as usize] -= 1;
@@ -348,6 +408,13 @@ impl<'a> Simulator<'a> {
                         let space = eng.bcast_out.iter().all(|&s| {
                             self.streams[s as usize].sendq.len() < self.cfg.source_queue
                         });
+                        if let Some(tr) = tracer.as_mut() {
+                            if space {
+                                tr.relay_fired(v as usize);
+                            } else {
+                                tr.engine_stalled(v as usize, EngineStall::OutputBlocked);
+                            }
+                        }
                         if space {
                             let eng = &mut self.engines[ti][v as usize];
                             let elem = eng.delivered;
@@ -364,13 +431,27 @@ impl<'a> Simulator<'a> {
                     let eng = &self.engines[ti][v as usize];
                     if kind != Collective::Reduce {
                         if let Some(bin) = eng.bcast_in {
-                            if eng.delivered < tree.len
-                                && !self.streams[bin as usize].recvq.is_empty()
-                                && eng.bcast_out.iter().all(|&s| {
-                                    self.streams[s as usize].sendq.len()
-                                        < self.cfg.source_queue
-                                })
-                            {
+                            let input_ready = !self.streams[bin as usize].recvq.is_empty();
+                            let out_ok = eng.bcast_out.iter().all(|&s| {
+                                self.streams[s as usize].sendq.len() < self.cfg.source_queue
+                            });
+                            if eng.delivered < tree.len {
+                                if let Some(tr) = tracer.as_mut() {
+                                    if input_ready && out_ok {
+                                        tr.relay_fired(v as usize);
+                                    } else {
+                                        tr.engine_stalled(
+                                            v as usize,
+                                            if !input_ready {
+                                                EngineStall::InputStarved
+                                            } else {
+                                                EngineStall::OutputBlocked
+                                            },
+                                        );
+                                    }
+                                }
+                            }
+                            if eng.delivered < tree.len && input_ready && out_ok {
                                 let val =
                                     self.streams[bin as usize].recvq.pop_front().unwrap();
                                 let eng = &mut self.engines[ti][v as usize];
@@ -389,25 +470,68 @@ impl<'a> Simulator<'a> {
                 }
             }
 
-            // 3. Transmit: one flit per directed channel per cycle.
+            // 3. Transmit: one flit per directed channel per cycle. The
+            // winner — first resident stream in round-robin order with both
+            // data and credit — is found first and the flit moved after, so
+            // the tracer can observe every member without changing
+            // arbitration (with tracing off the scan stops at the winner,
+            // which is the identical decision).
             for (c, members) in self.emb.channel_streams.iter().enumerate() {
                 if members.is_empty() {
                     continue;
                 }
                 let k = members.len();
                 let start = self.rr[c];
-                for off in 0..k {
-                    let s = members[(start + off) % k] as usize;
+                let mut winner: Option<(usize, usize)> = None; // (rr offset, stream)
+                if let Some(tr) = tracer.as_mut() {
+                    let mut any_data = false;
+                    for off in 0..k {
+                        let s = members[(start + off) % k] as usize;
+                        let st = &self.streams[s];
+                        let occupancy = st.recvq.len() + st.inflight.len();
+                        let has_data = !st.sendq.is_empty();
+                        let has_credit = occupancy < self.cfg.vc_buffer;
+                        if winner.is_none() && has_data && has_credit {
+                            winner = Some((off, s));
+                        }
+                        any_data |= has_data;
+                        let won = winner.is_some_and(|(_, w)| w == s);
+                        tr.observe_stream(
+                            s,
+                            st.sendq.len() as u64,
+                            (occupancy + won as usize) as u64,
+                            has_data,
+                            has_credit,
+                            won,
+                        );
+                    }
+                    tr.observe_channel(c, winner.is_some(), any_data);
+                } else {
+                    for off in 0..k {
+                        let s = members[(start + off) % k] as usize;
+                        let st = &self.streams[s];
+                        if !st.sendq.is_empty()
+                            && st.recvq.len() + st.inflight.len() < self.cfg.vc_buffer
+                        {
+                            winner = Some((off, s));
+                            break;
+                        }
+                    }
+                }
+                if let Some((off, s)) = winner {
                     let st = &mut self.streams[s];
                     let occupancy = st.recvq.len() + st.inflight.len();
-                    if !st.sendq.is_empty() && occupancy < self.cfg.vc_buffer {
-                        let v = st.sendq.pop_front().unwrap();
-                        st.inflight.push_back((cycle + self.cfg.link_latency as u64, v));
-                        self.channel_flits[c] += 1;
-                        self.max_vc_occupancy = self.max_vc_occupancy.max(occupancy + 1);
-                        self.rr[c] = (start + off + 1) % k;
-                        break;
-                    }
+                    let v = st.sendq.pop_front().unwrap();
+                    st.inflight.push_back((cycle + self.cfg.link_latency as u64, v));
+                    self.channel_flits[c] += 1;
+                    self.max_vc_occupancy = self.max_vc_occupancy.max(occupancy + 1);
+                    self.rr[c] = (start + off + 1) % k;
+                }
+            }
+
+            if let Some(tr) = tracer.as_mut() {
+                if tr.timeline_due(cycle) {
+                    tr.sample_timeline(cycle, deliveries);
                 }
             }
         }
@@ -418,7 +542,11 @@ impl<'a> Simulator<'a> {
             .iter()
             .map(|&f| f as f64 / cycle.max(1) as f64)
             .fold(0.0, f64::max);
-        SimReport {
+        let trace = tracer.map(|mut tr| {
+            tr.sample_timeline(cycle, deliveries); // final sample (timeline runs only)
+            tr.finish(self.emb, cycle)
+        });
+        let report = SimReport {
             cycles: cycle,
             total_elems: self.emb.total_len,
             completed,
@@ -429,7 +557,8 @@ impl<'a> Simulator<'a> {
             channel_flits: self.channel_flits,
             max_channel_utilization: max_util,
             max_vc_occupancy: self.max_vc_occupancy,
-        }
+        };
+        (report, trace)
     }
 }
 

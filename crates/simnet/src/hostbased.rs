@@ -17,7 +17,7 @@
 //! * **Rabenseifner** (recursive halving reduce-scatter + recursive
 //!   doubling allgather) — bandwidth-optimal on powers of two.
 
-use crate::routing::{phase_time, Routing};
+use crate::routing::{phase_profile, phase_time, PhaseProfile, Routing};
 use pf_graph::{Graph, VertexId};
 
 /// Cost parameters of the host-based models.
@@ -52,6 +52,42 @@ pub fn ring_allreduce_time(g: &Graph, routing: &Routing, m: u64, p: HostParams) 
         (0..n as u32).map(|i| (i, (i + 1) % n as u32, chunk)).collect();
     let round = phase_time(g, routing, &messages, p.hop_latency) + p.phase_overhead;
     2 * (n - 1) * round
+}
+
+/// Observability breakdown of [`ring_allreduce_time`]: every round shares
+/// one message pattern, so a single round's [`PhaseProfile`] explains the
+/// whole schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingProfile {
+    /// Number of rounds (`2(N-1)`).
+    pub rounds: u64,
+    /// Congestion profile of the representative round.
+    pub round: PhaseProfile,
+    /// Software overhead charged per round.
+    pub round_overhead: u64,
+    /// Total cycles — always equals [`ring_allreduce_time`].
+    pub total: u64,
+}
+
+/// Profiled variant of [`ring_allreduce_time`] (identical arithmetic).
+/// Returns `None` for degenerate inputs where the time is 0.
+pub fn ring_allreduce_profile(
+    g: &Graph,
+    routing: &Routing,
+    m: u64,
+    p: HostParams,
+) -> Option<RingProfile> {
+    let n = g.num_vertices() as u64;
+    if n <= 1 || m == 0 {
+        return None;
+    }
+    let chunk = ceil_div(m, n);
+    let messages: Vec<(VertexId, VertexId, u64)> =
+        (0..n as u32).map(|i| (i, (i + 1) % n as u32, chunk)).collect();
+    let round = phase_profile(g, routing, &messages, p.hop_latency);
+    let rounds = 2 * (n - 1);
+    let total = rounds * (round.time() + p.phase_overhead);
+    Some(RingProfile { rounds, round, round_overhead: p.phase_overhead, total })
 }
 
 /// Recursive doubling: pre/post rounds fold non-power-of-two stragglers
@@ -381,6 +417,19 @@ mod tests {
         // Still gated near/below one element per cycle per node: total time
         // can't beat m cycles by more than a small constant factor.
         assert!(bc as f64 > 0.5 * m as f64, "bc {bc} too fast for a flat network");
+    }
+
+    #[test]
+    fn ring_profile_explains_ring_time() {
+        let (g, r) = setup(3);
+        let p = HostParams::default();
+        let m = 1300;
+        let prof = ring_allreduce_profile(&g, &r, m, p).unwrap();
+        assert_eq!(prof.total, ring_allreduce_time(&g, &r, m, p));
+        assert_eq!(prof.rounds, 2 * (g.num_vertices() as u64 - 1));
+        assert_eq!(prof.total, prof.rounds * (prof.round.time() + prof.round_overhead));
+        assert!(prof.round.active_channels() > 0);
+        assert!(ring_allreduce_profile(&g, &r, 0, p).is_none());
     }
 
     #[test]

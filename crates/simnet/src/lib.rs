@@ -20,7 +20,11 @@
 //!
 //! The simulator checks numerical correctness of every delivered element
 //! and reports cycle counts, per-tree goodput and per-channel utilization,
-//! which the experiments compare against the Algorithm 1 predictions.
+//! which the experiments compare against the Algorithm 1 predictions. The
+//! [`trace`] module adds opt-in cycle-level observability — per-link,
+//! per-stream and per-router counters with a documented JSON/CSV schema
+//! (see `docs/OBSERVABILITY.md`) — used to verify the paper's per-link
+//! congestion bounds at runtime.
 //!
 //! [`hostbased`] adds congestion-aware phase models of classical host-based
 //! allreduce algorithms (ring, recursive doubling, Rabenseifner) as the
@@ -32,8 +36,10 @@ pub mod hostbased;
 pub mod p2p;
 pub mod routing;
 pub mod stats;
+pub mod trace;
 pub mod workload;
 
 pub use embedding::MultiTreeEmbedding;
 pub use engine::{Collective, SimConfig, SimReport, Simulator};
+pub use trace::{TraceConfig, TraceReport};
 pub use workload::Workload;

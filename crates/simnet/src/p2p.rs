@@ -46,6 +46,27 @@ struct HopState {
     recvq: u64,
 }
 
+/// Per-channel cycle attribution of one traced phase (see
+/// `docs/OBSERVABILITY.md`). Indexed like `P2PReport::channel_flits`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2PTrace {
+    /// Cycles the phase ran.
+    pub cycles: u64,
+    /// Cycles each directed channel moved a flit.
+    pub busy_cycles: Vec<u64>,
+    /// Cycles each directed channel had a flit staged but every staged
+    /// hop was out of downstream credit.
+    pub credit_stall_cycles: Vec<u64>,
+}
+
+impl P2PTrace {
+    /// Cycles channel `c` had nothing staged.
+    pub fn idle_cycles(&self, c: usize) -> u64 {
+        self.cycles
+            .saturating_sub(self.busy_cycles[c] + self.credit_stall_cycles[c])
+    }
+}
+
 /// Simulates one phase of concurrent messages at flit granularity.
 /// Payloads are not modeled (host-based reductions happen in host memory
 /// between rounds); the flit *count* and congestion behavior are.
@@ -54,6 +75,33 @@ pub fn simulate_phase(
     routing: &Routing,
     messages: &[Message],
     cfg: SimConfig,
+) -> P2PReport {
+    simulate_phase_inner(g, routing, messages, cfg, None)
+}
+
+/// Like [`simulate_phase`], additionally attributing every channel-cycle
+/// as busy, credit-stalled, or idle. Tracing is observational: the
+/// returned `P2PReport` is identical to the untraced run's.
+pub fn simulate_phase_traced(
+    g: &Graph,
+    routing: &Routing,
+    messages: &[Message],
+    cfg: SimConfig,
+) -> (P2PReport, P2PTrace) {
+    let nc = 2 * g.num_edges() as usize;
+    let mut trace =
+        P2PTrace { cycles: 0, busy_cycles: vec![0; nc], credit_stall_cycles: vec![0; nc] };
+    let report = simulate_phase_inner(g, routing, messages, cfg, Some(&mut trace));
+    trace.cycles = report.cycles;
+    (report, trace)
+}
+
+fn simulate_phase_inner(
+    g: &Graph,
+    routing: &Routing,
+    messages: &[Message],
+    cfg: SimConfig,
+    mut trace: Option<&mut P2PTrace>,
 ) -> P2PReport {
     let mut channel_flits = vec![0u64; 2 * g.num_edges() as usize];
     // Build hop chains.
@@ -135,22 +183,51 @@ pub fn simulate_phase(
             }
         }
         // 3. Transmit: one flit per channel, round-robin with credits.
+        // Winner first, move after — so the tracer can observe all members
+        // without altering arbitration (untraced runs stop at the winner,
+        // the identical decision).
         for (c, mem) in members.iter().enumerate() {
             if mem.is_empty() {
                 continue;
             }
             let k = mem.len();
             let start = rr[c];
-            for off in 0..k {
-                let (mi, hi) = mem[(start + off) % k];
-                let h = &mut chains[mi as usize][hi as usize];
-                if h.sendq > 0 && h.recvq + (h.inflight.len() as u64) < cfg.vc_buffer as u64 {
-                    h.sendq -= 1;
-                    h.inflight.push_back(cycle + cfg.link_latency as u64);
-                    channel_flits[c] += 1;
-                    rr[c] = (start + off + 1) % k;
-                    break;
+            let mut winner: Option<(usize, u32, u32)> = None; // (offset, msg, hop)
+            if let Some(tr) = trace.as_deref_mut() {
+                let mut any_data = false;
+                for off in 0..k {
+                    let (mi, hi) = mem[(start + off) % k];
+                    let h = &chains[mi as usize][hi as usize];
+                    let has_data = h.sendq > 0;
+                    let has_credit =
+                        h.recvq + (h.inflight.len() as u64) < cfg.vc_buffer as u64;
+                    any_data |= has_data;
+                    if winner.is_none() && has_data && has_credit {
+                        winner = Some((off, mi, hi));
+                    }
                 }
+                if winner.is_some() {
+                    tr.busy_cycles[c] += 1;
+                } else if any_data {
+                    tr.credit_stall_cycles[c] += 1;
+                }
+            } else {
+                for off in 0..k {
+                    let (mi, hi) = mem[(start + off) % k];
+                    let h = &chains[mi as usize][hi as usize];
+                    if h.sendq > 0 && h.recvq + (h.inflight.len() as u64) < cfg.vc_buffer as u64
+                    {
+                        winner = Some((off, mi, hi));
+                        break;
+                    }
+                }
+            }
+            if let Some((off, mi, hi)) = winner {
+                let h = &mut chains[mi as usize][hi as usize];
+                h.sendq -= 1;
+                h.inflight.push_back(cycle + cfg.link_latency as u64);
+                channel_flits[c] += 1;
+                rr[c] = (start + off + 1) % k;
             }
         }
     }
@@ -428,6 +505,35 @@ mod tests {
         let with =
             simulate_schedule(&g, &r, &[phase.clone(), phase], SimConfig::default(), 500).unwrap();
         assert_eq!(with - base, 1000);
+    }
+
+    #[test]
+    fn traced_phase_matches_untraced_and_accounts_every_cycle() {
+        let g = path_graph(4);
+        let r = Routing::new(&g);
+        let msgs = [
+            Message { src: 0, dst: 2, len: 500 },
+            Message { src: 1, dst: 3, len: 500 },
+        ];
+        let cfg = SimConfig::default();
+        let plain = simulate_phase(&g, &r, &msgs, cfg);
+        let (traced, trace) = simulate_phase_traced(&g, &r, &msgs, cfg);
+        assert_eq!(plain.cycles, traced.cycles);
+        assert_eq!(plain.completed, traced.completed);
+        assert_eq!(plain.channel_flits, traced.channel_flits);
+        assert_eq!(trace.cycles, traced.cycles);
+        for (c, &flits) in traced.channel_flits.iter().enumerate() {
+            // A channel is busy exactly when it moves a flit.
+            assert_eq!(trace.busy_cycles[c], flits);
+            assert_eq!(
+                trace.busy_cycles[c] + trace.credit_stall_cycles[c] + trace.idle_cycles(c),
+                trace.cycles
+            );
+        }
+        // The shared channel 1 -> 2 is the bottleneck: it must be busy most
+        // of the run.
+        let c12 = crate::embedding::channel_id(&g, 1, 2) as usize;
+        assert!(trace.busy_cycles[c12] as f64 > 0.9 * trace.cycles as f64);
     }
 
     #[test]

@@ -60,6 +60,52 @@ pub fn channel_loads(g: &Graph, routing: &Routing, messages: &[(VertexId, Vertex
     load
 }
 
+/// Observability breakdown of one α–β phase: where [`phase_time`]'s cycles
+/// come from, channel by channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseProfile {
+    /// Per-directed-channel load in elements ([`channel_loads`]).
+    pub loads: Vec<u64>,
+    /// Load of the most congested channel — the serialization term.
+    pub serial: u64,
+    /// Deepest routed path, in hops.
+    pub depth: u64,
+    /// Pipeline latency charged per hop.
+    pub hop_latency: u64,
+}
+
+impl PhaseProfile {
+    /// The phase time this profile explains: `serial + depth·hop_latency`.
+    pub fn time(&self) -> u64 {
+        self.serial + self.depth * self.hop_latency
+    }
+
+    /// Directed channels carrying at least one element.
+    pub fn active_channels(&self) -> usize {
+        self.loads.iter().filter(|&&l| l > 0).count()
+    }
+}
+
+/// Computes the congestion breakdown of one communication phase — the
+/// model-side counterpart of the engine's measured per-channel flit
+/// counters (`docs/OBSERVABILITY.md`).
+pub fn phase_profile(
+    g: &Graph,
+    routing: &Routing,
+    messages: &[(VertexId, VertexId, u64)],
+    hop_latency: u64,
+) -> PhaseProfile {
+    let loads = channel_loads(g, routing, messages);
+    let serial = loads.iter().copied().max().unwrap_or(0);
+    let depth = messages
+        .iter()
+        .filter(|&&(s, d, m)| s != d && m > 0)
+        .map(|&(s, d, _)| routing.hops(s, d) as u64)
+        .max()
+        .unwrap_or(0);
+    PhaseProfile { loads, serial, depth, hop_latency }
+}
+
 /// Time for one communication phase under the congestion-aware α–β model:
 /// every message proceeds concurrently; each directed channel serializes
 /// its total load at one element per cycle; the phase ends when the most
@@ -70,15 +116,7 @@ pub fn phase_time(
     messages: &[(VertexId, VertexId, u64)],
     hop_latency: u64,
 ) -> u64 {
-    let loads = channel_loads(g, routing, messages);
-    let serial = loads.into_iter().max().unwrap_or(0);
-    let depth = messages
-        .iter()
-        .filter(|&&(s, d, m)| s != d && m > 0)
-        .map(|&(s, d, _)| routing.hops(s, d) as u64)
-        .max()
-        .unwrap_or(0);
-    serial + depth * hop_latency
+    phase_profile(g, routing, messages, hop_latency).time()
 }
 
 #[cfg(test)]
@@ -131,6 +169,19 @@ mod tests {
         // of 3 are 0 and 2 -> 0 first, so path 3-0-1.
         let t = phase_time(&g, &r, &[(0, 1, 100), (3, 1, 100)], 5);
         assert_eq!(t, 200 + 2 * 5);
+    }
+
+    #[test]
+    fn phase_profile_explains_phase_time() {
+        let g = cycle(4);
+        let r = Routing::new(&g);
+        let msgs = [(0u32, 1u32, 100u64), (3, 1, 100)];
+        let p = phase_profile(&g, &r, &msgs, 5);
+        assert_eq!(p.time(), phase_time(&g, &r, &msgs, 5));
+        assert_eq!(p.serial, 200);
+        assert_eq!(p.depth, 2);
+        assert!(p.active_channels() >= 2);
+        assert_eq!(p.loads, channel_loads(&g, &r, &msgs));
     }
 
     #[test]

@@ -1,6 +1,10 @@
-//! Post-run statistics helpers over [`crate::engine::SimReport`].
+//! Post-run statistics helpers over [`crate::engine::SimReport`] and
+//! [`crate::trace::TraceReport`]: utilization roll-ups, per-tree goodput,
+//! and measured-vs-theoretical congestion comparison (the runtime check of
+//! Theorems 7.6 / 7.19).
 
 use crate::engine::SimReport;
+use crate::trace::TraceReport;
 
 /// Summary of per-channel utilization across a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,10 +51,65 @@ pub fn per_tree_bandwidth(r: &SimReport, sizes: &[u64]) -> Vec<f64> {
         .collect()
 }
 
+/// Measured-vs-theoretical per-link congestion for one traced run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestionSummary {
+    /// Measured congestion per undirected edge
+    /// ([`TraceReport::link_congestion`]).
+    pub measured: Vec<u32>,
+    /// Maximum measured per-link congestion.
+    pub max_measured: u32,
+    /// The theoretical bound being checked (e.g. `AllreducePlan::max_congestion`).
+    pub bound: u32,
+    /// `true` iff no link exceeded the bound — the runtime form of
+    /// Theorems 7.6 (≤ 2, low-depth) and 7.19 (= 1, edge-disjoint).
+    pub within_bound: bool,
+}
+
+/// Compares a trace's measured per-link congestion against a theoretical
+/// bound.
+pub fn congestion_vs_bound(trace: &TraceReport, bound: u32) -> CongestionSummary {
+    let measured = trace.link_congestion();
+    let max_measured = measured.iter().copied().max().unwrap_or(0);
+    CongestionSummary { measured, max_measured, bound, within_bound: max_measured <= bound }
+}
+
+/// Where the run's channel-cycles went, summed over channels that carried
+/// traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallSummary {
+    /// Channel-cycles that moved a flit.
+    pub busy_cycles: u64,
+    /// Channel-cycles lost to exhausted downstream credit.
+    pub credit_stall_cycles: u64,
+    /// Channel-cycles with nothing staged (on active channels only).
+    pub idle_cycles: u64,
+    /// `busy / (busy + stall + idle)` over active channels.
+    pub busy_fraction: f64,
+}
+
+/// Aggregates per-channel stall attribution over the channels that carried
+/// at least one flit.
+pub fn stall_summary(trace: &TraceReport) -> StallSummary {
+    let (mut busy, mut stall, mut idle) = (0u64, 0u64, 0u64);
+    for c in trace.channels.iter().filter(|c| c.flits > 0) {
+        busy += c.busy_cycles;
+        stall += c.credit_stall_cycles;
+        idle += c.idle_cycles;
+    }
+    let total = busy + stall + idle;
+    StallSummary {
+        busy_cycles: busy,
+        credit_stall_cycles: stall,
+        idle_cycles: idle,
+        busy_fraction: if total == 0 { 0.0 } else { busy as f64 / total as f64 },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{MultiTreeEmbedding, SimConfig, Simulator, Workload};
+    use crate::{MultiTreeEmbedding, SimConfig, Simulator, TraceConfig, Workload};
     use pf_graph::{Graph, RootedTree};
 
     fn run() -> (SimReport, Vec<u64>) {
@@ -86,6 +145,37 @@ mod tests {
         for b in bw {
             assert!(b > 0.2 && b <= 1.0, "per-tree bw {b}");
         }
+    }
+
+    #[test]
+    fn congestion_and_stall_summaries() {
+        let mut g = Graph::new(4);
+        for i in 0..4 {
+            g.add_edge(i, (i + 1) % 4);
+        }
+        // Two trees over the same path -> per-link congestion 2 on shared
+        // edges.
+        let t1 = RootedTree::from_path(&[0, 1, 2, 3], 0).unwrap();
+        let t2 = RootedTree::from_path(&[0, 1, 2, 3], 3).unwrap();
+        let emb = MultiTreeEmbedding::new(&g, &[t1, t2], &[500, 500]);
+        let w = Workload::new(4, 1000);
+        let (r, trace) = Simulator::new(&g, &emb, SimConfig::default())
+            .with_trace(TraceConfig::counters())
+            .run_traced(&w);
+        assert!(r.completed);
+        let trace = trace.unwrap();
+
+        let c = congestion_vs_bound(&trace, 2);
+        assert_eq!(c.max_measured, 2);
+        assert!(c.within_bound);
+        assert!(!congestion_vs_bound(&trace, 1).within_bound);
+
+        let s = stall_summary(&trace);
+        assert!(s.busy_cycles > 0);
+        assert!(s.busy_fraction > 0.0 && s.busy_fraction <= 1.0);
+        // Congestion-2 channels split their bandwidth, so the run can't be
+        // all-busy everywhere.
+        assert!(s.busy_fraction < 1.0);
     }
 
     #[test]

@@ -7,27 +7,50 @@
 //! step-time improvement of multi-tree in-network reduction.
 //!
 //! ```text
-//! cargo run --release --example ml_training [q] [gradient_elems]
+//! cargo run --release --example ml_training -- [q] [gradient_elems] [--trace]
 //! ```
+//!
+//! With `--trace` each in-network run also reports its measured per-link
+//! congestion against the paper's theoretical bound and the pipeline-model
+//! predicted step time (see `docs/OBSERVABILITY.md`).
 
 use pf_allreduce::AllreducePlan;
 use pf_simnet::hostbased::{
     rabenseifner_time, recursive_doubling_time, ring_allreduce_time, HostParams,
 };
 use pf_simnet::routing::Routing;
-use pf_simnet::{MultiTreeEmbedding, SimConfig, Simulator, Workload};
+use pf_simnet::stats::congestion_vs_bound;
+use pf_simnet::{MultiTreeEmbedding, SimConfig, Simulator, TraceConfig, Workload};
 
-fn simulate(plan: &AllreducePlan, m: u64) -> (u64, f64) {
+fn simulate(plan: &AllreducePlan, m: u64, trace_on: bool) -> (u64, f64) {
+    let cfg = SimConfig::default();
     let sizes = plan.split(m);
     let emb = MultiTreeEmbedding::new(&plan.graph, &plan.trees, &sizes);
     let w = Workload::new(plan.graph.num_vertices(), m);
-    let r = Simulator::new(&plan.graph, &emb, SimConfig::default()).run(&w);
+    let tcfg = if trace_on { TraceConfig::counters() } else { TraceConfig::off() };
+    let (r, trace) = Simulator::new(&plan.graph, &emb, cfg).with_trace(tcfg).run_traced(&w);
     assert!(r.completed && r.mismatches == 0, "simulation must validate");
+    if let Some(trace) = trace {
+        let cong = congestion_vs_bound(&trace, plan.max_congestion);
+        let predicted = plan.predicted_cycles(m, cfg.link_latency as u64);
+        println!(
+            "  [trace {:>13}] link congestion {} (bound {}, {}) | predicted {} cycles, measured {}",
+            plan.solution.label(),
+            cong.max_measured,
+            plan.max_congestion,
+            if cong.within_bound { "ok" } else { "EXCEEDED" },
+            predicted,
+            r.cycles
+        );
+        assert!(cong.within_bound, "simulated congestion exceeded the theoretical bound");
+    }
     (r.cycles, r.measured_bandwidth)
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let all: Vec<String> = std::env::args().skip(1).collect();
+    let trace_on = all.iter().any(|a| a == "--trace");
+    let mut args = all.iter().filter(|a| !a.starts_with("--"));
     let q: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(11);
     let m: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
     let n = q * q + q + 1;
@@ -38,7 +61,7 @@ fn main() {
     let ham = AllreducePlan::edge_disjoint(q, 30, 0xA11).unwrap();
     let single = AllreducePlan::single_tree(q).unwrap();
 
-    let (ham_cycles, ham_bw) = simulate(&ham, m);
+    let (ham_cycles, ham_bw) = simulate(&ham, m, trace_on);
     println!(
         "edge-disjoint trees ({}): {:>9} cycles   {:.2} el/cy",
         ham.trees.len(),
@@ -46,10 +69,10 @@ fn main() {
         ham_bw
     );
     if let Ok(low) = AllreducePlan::low_depth(q) {
-        let (c, bw) = simulate(&low, m);
+        let (c, bw) = simulate(&low, m, trace_on);
         println!("low-depth trees     ({}): {:>9} cycles   {:.2} el/cy", low.trees.len(), c, bw);
     }
-    let (single_cycles, single_bw) = simulate(&single, m);
+    let (single_cycles, single_bw) = simulate(&single, m, trace_on);
     println!("single tree          (1): {:>9} cycles   {:.2} el/cy", single_cycles, single_bw);
 
     let routing = Routing::new(&single.graph);

@@ -1,0 +1,26 @@
+//! The README's "Library usage" snippet, compiled and executed verbatim
+//! so the front-page code can never rot.
+//!
+//! ```text
+//! cargo run --release --example readme
+//! ```
+
+use pf_allreduce::AllreducePlan;
+use pf_simnet::{MultiTreeEmbedding, SimConfig, Simulator, Workload};
+
+fn main() {
+    let plan = AllreducePlan::edge_disjoint(11, 30, 42).unwrap();
+    assert_eq!(plan.trees.len(), 6); // floor((q+1)/2), the optimum
+    assert_eq!(plan.max_congestion, 1); // edge-disjoint
+
+    let m = 100_000; // vector elements
+    let emb = MultiTreeEmbedding::new(&plan.graph, &plan.trees, &plan.split(m));
+    let w = Workload::new(plan.graph.num_vertices(), m);
+    let report = Simulator::new(&plan.graph, &emb, SimConfig::default()).run(&w);
+    assert_eq!(report.mismatches, 0); // numerically exact allreduce
+
+    println!(
+        "q = 11 edge-disjoint allreduce of {m} elements: {} cycles, {:.2} el/cycle",
+        report.cycles, report.measured_bandwidth
+    );
+}

@@ -36,7 +36,7 @@ fn low_depth_full_pipeline() {
 fn edge_disjoint_full_pipeline() {
     for q in [3u64, 4, 5, 7, 8, 9] {
         let plan = AllreducePlan::edge_disjoint(q, 30, 0xE2E ^ q).unwrap();
-        assert_eq!(plan.trees.len() as u64, (q + 1) / 2);
+        assert_eq!(plan.trees.len() as u64, q.div_ceil(2));
         assert_eq!(plan.max_congestion, 1);
         assert_eq!(plan.aggregate, Rational::from_int(plan.trees.len() as i64));
 

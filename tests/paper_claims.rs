@@ -319,7 +319,7 @@ fn section_7_2_totient_bounds() {
             assert!(phi as f64 <= n as f64 - (n as f64).sqrt() + 1e-9, "q={q}");
         }
         // The paper's looser phrasing in tree counts.
-        assert!(phi >= (q + 1) / 2, "q={q}");
+        assert!(phi >= q.div_ceil(2), "q={q}");
     }
 }
 
@@ -332,7 +332,55 @@ fn corollary_7_1_edge_count_argument() {
         let edges = pf.graph().num_edges() as u64;
         assert_eq!(edges, q * (q + 1) * (q + 1) / 2, "q={q}");
         let per_tree = q * q + q;
-        assert_eq!(edges / per_tree, (q + 1) / 2, "q={q}");
+        assert_eq!(edges / per_tree, q.div_ceil(2), "q={q}");
+    }
+}
+
+#[test]
+fn theorems_7_6_and_7_19_congestion_holds_at_runtime() {
+    // The congestion bounds are proved over the static embeddings; this
+    // re-checks them on the executing system. A traced simulation counts
+    // the distinct streams that actually crossed each link, and no link
+    // may carry more than the theoretical congestion: <= 2 for the
+    // low-depth trees (Theorem 7.6), exactly <= 1 for the edge-disjoint
+    // Hamiltonian trees (Theorem 7.19).
+    use pf_allreduce::AllreducePlan;
+    use pf_simnet::stats::congestion_vs_bound;
+    use pf_simnet::{MultiTreeEmbedding, SimConfig, Simulator, TraceConfig, Workload};
+
+    let run = |plan: &AllreducePlan, m: u64| {
+        let sizes = plan.split(m);
+        let emb = MultiTreeEmbedding::new(&plan.graph, &plan.trees, &sizes);
+        let w = Workload::new(plan.graph.num_vertices(), m);
+        let (r, trace) = Simulator::new(&plan.graph, &emb, SimConfig::default())
+            .with_trace(TraceConfig::counters())
+            .run_traced(&w);
+        assert!(r.completed && r.mismatches == 0);
+        trace.expect("tracing was enabled")
+    };
+
+    for q in [3u64, 7, 11] {
+        let low = AllreducePlan::low_depth(q).unwrap();
+        let trace = run(&low, 2000);
+        let c = congestion_vs_bound(&trace, 2);
+        assert!(c.within_bound, "q={q} low-depth: measured {} > 2", c.max_measured);
+        // Stronger: the simulator never exceeds the plan's own per-link
+        // congestion vector, edge by edge.
+        for (e, (&measured, &bound)) in
+            c.measured.iter().zip(&low.edge_congestion).enumerate()
+        {
+            assert!(measured <= bound, "q={q} low-depth edge {e}: {measured} > {bound}");
+        }
+
+        let ham = AllreducePlan::edge_disjoint(q, 30, 0x715 ^ q).unwrap();
+        let trace = run(&ham, 2000);
+        let c = congestion_vs_bound(&trace, 1);
+        assert!(c.within_bound, "q={q} edge-disjoint: measured {} > 1", c.max_measured);
+        for (e, (&measured, &bound)) in
+            c.measured.iter().zip(&ham.edge_congestion).enumerate()
+        {
+            assert!(measured <= bound, "q={q} edge-disjoint edge {e}: {measured} > {bound}");
+        }
     }
 }
 
