@@ -18,10 +18,11 @@
 //!   sim-trace       traced runs: measured link congestion vs theory
 //!   sim-split       ablation: optimal vs equal sub-vector split
 //!   sim-buffers     ablation: VC buffer depth vs throughput
+//!   sim-faults      fault injection: bandwidth vs failed links (recovery)
 //!   all             everything above
 //! ```
 
-use pf_bench::{sims, sweeps, tables};
+use pf_bench::{faults, sims, sweeps, tables};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +70,10 @@ fn main() {
         "ablation-logical" => sims::print_ablation_logical(&sim_qs),
         "vc-report" => sims::print_vc_report(&sim_qs),
         "sim-injection" => sims::print_sim_injection(7, opt_u64("--m", 20_000)),
+        "sim-faults" => faults::print_sim_faults(
+            &[3u64, 7, 11].into_iter().filter(|&q| q <= max_q).collect::<Vec<_>>(),
+            opt_u64("--m", 4_000),
+        ),
         "evenq-search" => sims::print_evenq_search(opt_u64("--attempts", 500) as usize),
         "torus-compare" => sims::print_torus_compare(opt_u64("--m", 200_000)),
         "starters" => sims::print_starters(opt_u64("--q", 11)),
@@ -132,6 +137,7 @@ fn main() {
             "ablation-logical",
             "vc-report",
             "sim-injection",
+            "sim-faults",
             "evenq-search",
             "torus-compare",
             "starters",

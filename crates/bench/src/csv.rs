@@ -137,4 +137,29 @@ mod tests {
             std::fs::remove_file(p).ok();
         }
     }
+
+    #[test]
+    fn parallel_and_serial_sweeps_produce_identical_csv_bytes() {
+        // The CSV exporter runs the radix sweep through parallel_map;
+        // scheduling must never leak into the output bytes.
+        let qs = prime_powers_in(3, 9);
+        let render = |points: &[crate::sweeps::Fig5Point]| -> String {
+            qs.iter()
+                .zip(points)
+                .map(|(&q, p)| {
+                    format!(
+                        "{},{},{:.6},{},{:.6}\n",
+                        q,
+                        q + 1,
+                        p.low_depth_norm.to_f64(),
+                        p.low_depth_formula,
+                        p.hamiltonian_norm.to_f64(),
+                    )
+                })
+                .collect()
+        };
+        let parallel = crate::par::parallel_map(&qs, |&q| fig5_point(q, 30, 0x5EED ^ q));
+        let serial: Vec<_> = qs.iter().map(|&q| fig5_point(q, 30, 0x5EED ^ q)).collect();
+        assert_eq!(render(&parallel).into_bytes(), render(&serial).into_bytes());
+    }
 }

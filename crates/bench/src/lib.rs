@@ -6,6 +6,7 @@
 //! subcommand per artifact — see DESIGN.md's per-experiment index.
 
 pub mod csv;
+pub mod faults;
 pub mod figures;
 pub mod par;
 pub mod sims;

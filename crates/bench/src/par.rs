@@ -3,10 +3,11 @@
 //! The Figure 5 / §7.3 sweeps evaluate 43 independent prime powers; each
 //! point builds its own topology and trees, so they parallelize trivially.
 //! Workers steal indices from a shared atomic cursor (`std::thread::scope`
-//! scoped threads), and results land in order.
+//! scoped threads) into per-worker buffers, merged in order at join — no
+//! shared lock on the hot path, and the output is identical to the serial
+//! map regardless of scheduling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Applies `f` to every item on a scoped worker pool, preserving input
 /// order in the output. `f` must be `Sync` (it runs concurrently).
@@ -25,20 +26,32 @@ where
         return items.iter().map(&f).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let out: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                out.lock().unwrap()[i] = Some(r);
-            });
-        }
+    // Each worker accumulates (index, result) locally; taking the output
+    // mutex once per item would serialize cheap maps on lock traffic.
+    let buffers: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     });
-    out.into_inner().unwrap().into_iter().map(|r| r.expect("all slots filled")).collect()
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in buffers.into_iter().flatten() {
+        debug_assert!(out[i].is_none(), "index {i} produced twice");
+        out[i] = Some(r);
+    }
+    out.into_iter().map(|r| r.expect("all slots filled")).collect()
 }
 
 #[cfg(test)]
@@ -68,5 +81,30 @@ mod tests {
         let ser: Vec<u32> =
             qs.iter().map(|&q| pf_topo::PolarFly::new(q).graph().num_edges()).collect();
         assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn uneven_work_still_lands_in_order() {
+        // Wildly uneven per-item cost shuffles completion order across
+        // workers; the merged output must still be the serial one.
+        let items: Vec<u64> = (0..64).rev().collect();
+        let out = parallel_map(&items, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x * 2_000) {
+                acc = acc.wrapping_add(i ^ x);
+            }
+            (x, acc).1 ^ x
+        });
+        let ser: Vec<u64> = items
+            .iter()
+            .map(|&x| {
+                let mut acc = 0u64;
+                for i in 0..(x * 2_000) {
+                    acc = acc.wrapping_add(i ^ x);
+                }
+                acc ^ x
+            })
+            .collect();
+        assert_eq!(out, ser);
     }
 }

@@ -17,6 +17,9 @@
 //!   split, aggregate bandwidth, optimal bounds (Corollary 7.1);
 //! * [`verify`] — executable statements of the paper's theorems, used by
 //!   tests, benches and the simulator;
+//! * [`recovery`] — degraded-plan rebuild after link/router faults:
+//!   surviving trees are kept, broken trees repaired or dropped under the
+//!   healthy congestion bound, and the bandwidth loss quantified;
 //! * [`plan`] — the high-level [`plan::AllreducePlan`] facade tying it all
 //!   together.
 //!
@@ -46,7 +49,9 @@ pub mod lowdepth;
 pub mod perf;
 pub mod plan;
 pub mod rational;
+pub mod recovery;
 pub mod verify;
 
 pub use plan::{AllreducePlan, Solution};
 pub use rational::Rational;
+pub use recovery::{rebuild_degraded, DegradedPlan, FaultSet, RebuildError};

@@ -1,0 +1,438 @@
+//! Degraded-plan rebuild after link/router faults.
+//!
+//! The paper's constructions assume a healthy `ER_q`; this module defines
+//! what the allreduce falls back to when the fabric loses links or whole
+//! routers mid-collective. Given an [`AllreducePlan`] and a set of failed
+//! elements, [`rebuild_degraded`] produces a [`DegradedPlan`] on the
+//! surviving subgraph:
+//!
+//! 1. Trees untouched by the faults survive verbatim (a spanning tree of
+//!    the healthy graph whose edges all survive is a spanning tree of the
+//!    subgraph).
+//! 2. Broken trees are *repaired*: the surviving tree edges form a forest,
+//!    which is completed to a spanning tree with the smallest-id surviving
+//!    edges (union-find), keeping as much of the paper's structure as
+//!    possible.
+//! 3. Repairs are accepted greedily, in tree order, only while the
+//!    degraded plan's worst-case link congestion stays within the healthy
+//!    plan's Theorem 7.6 / 7.19 bound — a repair that would oversubscribe
+//!    a link is dropped instead ("falling back to fewer trees").
+//! 4. If nothing survives, a single BFS spanning tree of the subgraph is
+//!    used (congestion 1 on any connected graph).
+//!
+//! Bandwidth on the degraded plan is re-derived with Algorithm 1, so the
+//! loss relative to the healthy aggregate is quantified exactly (in
+//! rational arithmetic). Router faults shrink the vertex set: the
+//! collective then runs among the survivors, and the [`DegradedPlan`]
+//! carries the id maps between the two labelings.
+//!
+//! Everything here is deterministic: same plan + same fault set gives the
+//! identical degraded plan, which the fault-injection property suites rely
+//! on.
+
+use crate::congestion::assign_unit_bandwidth;
+use crate::perf;
+use crate::plan::AllreducePlan;
+use crate::rational::Rational;
+use pf_graph::dsu::Dsu;
+use pf_graph::{bfs, subgraph, EdgeId, Graph, RootedTree, VertexId};
+
+/// A set of failed network elements, in the healthy graph's labeling.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSet {
+    /// Failed undirected links (original edge ids).
+    pub edges: Vec<EdgeId>,
+    /// Failed routers (original vertex ids). A failed router also kills
+    /// every incident link.
+    pub routers: Vec<VertexId>,
+}
+
+impl FaultSet {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultSet::default()
+    }
+
+    /// Link faults only.
+    pub fn links(edges: Vec<EdgeId>) -> Self {
+        FaultSet { edges, routers: Vec::new() }
+    }
+
+    /// True when nothing failed.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty() && self.routers.is_empty()
+    }
+}
+
+/// Why a degraded plan could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebuildError {
+    /// The surviving subgraph is disconnected — no spanning tree exists,
+    /// so the collective cannot reach every surviving router.
+    Partitioned {
+        /// Number of connected components after the faults.
+        components: u32,
+    },
+    /// Every router failed (or the plan had none to begin with).
+    NoSurvivors,
+}
+
+impl std::fmt::Display for RebuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebuildError::Partitioned { components } => {
+                write!(f, "faults partition the network into {components} components")
+            }
+            RebuildError::NoSurvivors => write!(f, "no surviving routers"),
+        }
+    }
+}
+
+impl std::error::Error for RebuildError {}
+
+/// How each degraded-plan tree relates to the healthy plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeOrigin {
+    /// The healthy plan's tree at this index survived untouched.
+    Intact(usize),
+    /// The healthy plan's tree at this index was re-completed from its
+    /// surviving edge forest.
+    Repaired(usize),
+    /// A fresh BFS spanning tree (used only when nothing else survived).
+    Fallback,
+}
+
+/// A rebuilt allreduce plan on the surviving subgraph.
+#[derive(Debug, Clone)]
+pub struct DegradedPlan {
+    /// The surviving topology (renumbered ids; see the maps below).
+    pub graph: Graph,
+    /// Spanning trees of [`DegradedPlan::graph`], Algorithm 1-weighted.
+    pub trees: Vec<RootedTree>,
+    /// Provenance of each tree, parallel to `trees`.
+    pub origins: Vec<TreeOrigin>,
+    /// Healthy-plan trees dropped because their repair would exceed the
+    /// congestion bound.
+    pub dropped: usize,
+    /// Per-tree bandwidth from Algorithm 1 on the degraded graph.
+    pub bandwidths: Vec<Rational>,
+    /// Aggregate degraded bandwidth `Σ B_i`.
+    pub aggregate: Rational,
+    /// The healthy plan's aggregate, for loss accounting.
+    pub healthy_aggregate: Rational,
+    /// Worst-case link congestion bound inherited from the healthy plan
+    /// (Theorem 7.6 / 7.19); the rebuild never exceeds it.
+    pub congestion_bound: u32,
+    /// Per-edge congestion on the degraded graph (degraded edge ids).
+    pub edge_congestion: Vec<u32>,
+    /// `max(edge_congestion)` — guaranteed `<= congestion_bound`.
+    pub max_congestion: u32,
+    /// Maximum tree depth of the degraded plan.
+    pub depth: u32,
+    /// `orig_vertex[new] = old` for surviving routers.
+    pub orig_vertex: Vec<VertexId>,
+    /// `new_vertex[old] = Some(new)` for survivors, `None` for dead routers.
+    pub new_vertex: Vec<Option<VertexId>>,
+    /// `orig_edge[new] = old` for surviving links.
+    pub orig_edge: Vec<EdgeId>,
+    /// `new_edge[old] = Some(new)` for survivors, `None` for dead links.
+    pub new_edge: Vec<Option<EdgeId>>,
+}
+
+impl DegradedPlan {
+    /// Fraction of the healthy aggregate bandwidth the degraded plan
+    /// retains (1 means no loss).
+    pub fn bandwidth_retention(&self) -> Rational {
+        if self.healthy_aggregate == Rational::ZERO {
+            return Rational::ONE;
+        }
+        self.aggregate / self.healthy_aggregate
+    }
+
+    /// Theorem 5.1 optimal sub-vector split of an `m`-element vector over
+    /// the degraded trees.
+    pub fn split(&self, m: u64) -> Vec<u64> {
+        perf::optimal_split(m, &self.bandwidths)
+    }
+
+    /// Cycle-level runtime prediction on the degraded plan (the same
+    /// fill-plus-drain model as `AllreducePlan::predicted_cycles`).
+    pub fn predicted_cycles(&self, m: u64, hop_latency: u64) -> u64 {
+        let sizes = self.split(m);
+        self.trees
+            .iter()
+            .zip(&sizes)
+            .zip(&self.bandwidths)
+            .map(|((t, &mi), &bi)| perf::predicted_tree_cycles(t.depth(), hop_latency, mi, bi))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of healthy-plan trees that survived untouched.
+    pub fn intact(&self) -> usize {
+        self.origins.iter().filter(|o| matches!(o, TreeOrigin::Intact(_))).count()
+    }
+
+    /// Number of healthy-plan trees that were repaired.
+    pub fn repaired(&self) -> usize {
+        self.origins.iter().filter(|o| matches!(o, TreeOrigin::Repaired(_))).count()
+    }
+}
+
+/// Rebuilds `plan` on the subgraph surviving `faults`.
+///
+/// See the module docs for the strategy. Fails only when the faults
+/// disconnect the surviving routers ([`RebuildError::Partitioned`]) or
+/// kill all of them ([`RebuildError::NoSurvivors`]).
+pub fn rebuild_degraded(
+    plan: &AllreducePlan,
+    faults: &FaultSet,
+) -> Result<DegradedPlan, RebuildError> {
+    let g = &plan.graph;
+
+    // Surviving subgraph: vertices first, then the explicitly failed links
+    // that are still present.
+    let vd = subgraph::vertex_deleted(g, &faults.routers);
+    if vd.graph.num_vertices() == 0 {
+        return Err(RebuildError::NoSurvivors);
+    }
+    let edges_in_vd: Vec<EdgeId> =
+        faults.edges.iter().filter_map(|&e| vd.new_edge[e as usize]).collect();
+    let ed = subgraph::edge_deleted(&vd.graph, &edges_in_vd);
+    let degraded = ed.graph;
+
+    if !bfs::is_connected(&degraded) {
+        let (_, components) = bfs::connected_components(&degraded);
+        return Err(RebuildError::Partitioned { components });
+    }
+
+    // Compose the id maps (healthy <-> degraded).
+    let orig_vertex = vd.orig_vertex.clone();
+    let new_vertex = vd.new_vertex.clone();
+    let orig_edge: Vec<EdgeId> =
+        ed.orig_edge.iter().map(|&mid| vd.orig_edge[mid as usize]).collect();
+    let mut new_edge = vec![None; g.num_edges() as usize];
+    for (new, &old) in orig_edge.iter().enumerate() {
+        new_edge[old as usize] = Some(new as EdgeId);
+    }
+
+    let n_new = degraded.num_vertices();
+    let identity_vertices = n_new == g.num_vertices();
+
+    // Classify and translate each healthy tree.
+    let mut candidates: Vec<(RootedTree, TreeOrigin)> = Vec::new();
+    for (ti, tree) in plan.trees.iter().enumerate() {
+        // Surviving tree edges, as degraded edge ids.
+        let mut forest: Vec<EdgeId> = Vec::new();
+        let mut broken = !identity_vertices; // router loss breaks every spanning tree
+        for (child, parent) in tree.edges() {
+            let old = g.edge_id(child, parent).expect("plan tree edge must be physical");
+            match new_edge[old as usize] {
+                Some(id) => forest.push(id),
+                None => broken = true,
+            }
+        }
+        if !broken {
+            candidates.push((tree.clone(), TreeOrigin::Intact(ti)));
+            continue;
+        }
+        // Repair: complete the surviving forest to a spanning tree, rooted
+        // at the original root when it survived.
+        let root = new_vertex[tree.root() as usize].unwrap_or(0);
+        let repaired = complete_forest(&degraded, &forest, root);
+        candidates.push((repaired, TreeOrigin::Repaired(ti)));
+    }
+
+    // Greedy acceptance under the healthy congestion bound: intact trees
+    // first (their combined congestion is a sub-sum of the healthy plan's,
+    // hence within the bound), then repairs in tree order.
+    let bound = plan.max_congestion.max(1);
+    let mut congestion = vec![0u32; degraded.num_edges() as usize];
+    let mut trees: Vec<RootedTree> = Vec::new();
+    let mut origins: Vec<TreeOrigin> = Vec::new();
+    let mut dropped = 0usize;
+    for pass in [true, false] {
+        for (tree, origin) in &candidates {
+            if matches!(origin, TreeOrigin::Intact(_)) != pass {
+                continue;
+            }
+            let ids = tree.edge_ids(&degraded);
+            if ids.iter().any(|&e| congestion[e as usize] + 1 > bound) {
+                dropped += 1;
+                continue;
+            }
+            for &e in &ids {
+                congestion[e as usize] += 1;
+            }
+            trees.push(tree.clone());
+            origins.push(*origin);
+        }
+    }
+
+    // Last resort: a fresh BFS spanning tree (congestion 1 fits any bound).
+    if trees.is_empty() {
+        let (_, parents) = bfs::tree(&degraded, 0);
+        let t = RootedTree::from_parents(0, parents)
+            .expect("BFS of a connected graph yields a spanning tree");
+        trees.push(t);
+        origins.push(TreeOrigin::Fallback);
+    }
+
+    let a = assign_unit_bandwidth(&degraded, &trees);
+    let aggregate = a.aggregate();
+    let depth = trees.iter().map(|t| t.depth()).max().unwrap_or(0);
+    Ok(DegradedPlan {
+        graph: degraded,
+        trees,
+        origins,
+        dropped,
+        bandwidths: a.per_tree,
+        aggregate,
+        healthy_aggregate: plan.aggregate,
+        congestion_bound: bound,
+        edge_congestion: a.per_edge,
+        max_congestion: a.max_congestion,
+        depth,
+        orig_vertex,
+        new_vertex,
+        orig_edge,
+        new_edge,
+    })
+}
+
+/// Completes `forest` (edge ids of `g`, guaranteed acyclic) to a spanning
+/// tree of the connected graph `g`, preferring the forest edges and then
+/// the smallest-id edges, and returns it rooted at `root`.
+fn complete_forest(g: &Graph, forest: &[EdgeId], root: VertexId) -> RootedTree {
+    let mut dsu = Dsu::new(g.num_vertices());
+    let mut selected = vec![false; g.num_edges() as usize];
+    for &e in forest {
+        let (u, v) = g.endpoints(e);
+        if dsu.union(u, v) {
+            selected[e as usize] = true;
+        }
+    }
+    for (e, u, v) in g.edges() {
+        if dsu.components() == 1 {
+            break;
+        }
+        if dsu.union(u, v) {
+            selected[e as usize] = true;
+        }
+    }
+    debug_assert_eq!(dsu.components(), 1, "caller guarantees g is connected");
+
+    // Orient the selected edges away from the root.
+    let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); g.num_vertices() as usize];
+    for (e, u, v) in g.edges() {
+        if selected[e as usize] {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+    }
+    let mut parent = vec![None; g.num_vertices() as usize];
+    let mut seen = vec![false; g.num_vertices() as usize];
+    let mut queue = std::collections::VecDeque::from([root]);
+    seen[root as usize] = true;
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u as usize] {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                parent[v as usize] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    RootedTree::from_parents(root, parent).expect("selected edges span the graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::AllreducePlan;
+
+    #[test]
+    fn no_faults_keeps_every_tree_intact() {
+        let plan = AllreducePlan::low_depth(7).unwrap();
+        let d = rebuild_degraded(&plan, &FaultSet::none()).unwrap();
+        assert_eq!(d.trees.len(), plan.trees.len());
+        assert_eq!(d.intact(), plan.trees.len());
+        assert_eq!(d.dropped, 0);
+        assert_eq!(d.aggregate, plan.aggregate);
+        assert_eq!(d.bandwidth_retention(), Rational::ONE);
+        assert_eq!(d.max_congestion, plan.max_congestion);
+    }
+
+    #[test]
+    fn single_link_fault_keeps_congestion_bounded() {
+        let plan = AllreducePlan::low_depth(7).unwrap();
+        for e in [0u32, 5, 17, 100] {
+            let d = rebuild_degraded(&plan, &FaultSet::links(vec![e])).unwrap();
+            assert!(d.max_congestion <= plan.max_congestion, "edge {e}");
+            assert!(!d.trees.is_empty());
+            // Every tree spans the degraded graph.
+            for t in &d.trees {
+                t.validate_spanning(&d.graph).unwrap();
+            }
+            // The degraded edge count reflects exactly one loss.
+            assert_eq!(d.graph.num_edges() + 1, plan.graph.num_edges());
+            assert!(d.aggregate <= plan.aggregate);
+            assert!(d.aggregate > Rational::ZERO);
+        }
+    }
+
+    #[test]
+    fn edge_disjoint_plan_survives_or_drops() {
+        let plan = AllreducePlan::edge_disjoint(7, 30, 3).unwrap();
+        let d = rebuild_degraded(&plan, &FaultSet::links(vec![0])).unwrap();
+        // Congestion-1 bound must be preserved even through repairs.
+        assert!(d.max_congestion <= 1);
+        for t in &d.trees {
+            t.validate_spanning(&d.graph).unwrap();
+        }
+    }
+
+    #[test]
+    fn router_fault_rebuilds_on_survivors() {
+        let plan = AllreducePlan::low_depth(5).unwrap();
+        let dead = 3u32;
+        let d =
+            rebuild_degraded(&plan, &FaultSet { edges: vec![], routers: vec![dead] }).unwrap();
+        assert_eq!(d.graph.num_vertices() + 1, plan.graph.num_vertices());
+        assert_eq!(d.new_vertex[dead as usize], None);
+        // All healthy trees break on a router loss; everything is repaired
+        // or dropped, never intact.
+        assert_eq!(d.intact(), 0);
+        assert!(!d.trees.is_empty());
+        for t in &d.trees {
+            t.validate_spanning(&d.graph).unwrap();
+        }
+        assert!(d.max_congestion <= plan.max_congestion.max(1));
+    }
+
+    #[test]
+    fn isolating_faults_report_partition() {
+        let plan = AllreducePlan::single_tree(3).unwrap();
+        // Kill every link of router 0: the survivors stay connected
+        // (diameter 2), but router 0 is cut off.
+        let incident: Vec<u32> = plan
+            .graph
+            .neighbors_with_edges(0)
+            .iter()
+            .map(|&(_, e)| e)
+            .collect();
+        let err = rebuild_degraded(&plan, &FaultSet::links(incident)).unwrap_err();
+        assert!(matches!(err, RebuildError::Partitioned { .. }), "{err}");
+    }
+
+    #[test]
+    fn rebuild_is_deterministic() {
+        let plan = AllreducePlan::low_depth(7).unwrap();
+        let f = FaultSet::links(vec![12, 40]);
+        let a = rebuild_degraded(&plan, &f).unwrap();
+        let b = rebuild_degraded(&plan, &f).unwrap();
+        assert_eq!(a.trees, b.trees);
+        assert_eq!(a.origins, b.origins);
+        assert_eq!(a.bandwidths, b.bandwidths);
+    }
+}

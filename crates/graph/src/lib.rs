@@ -20,7 +20,9 @@ pub mod dsu;
 pub mod graph;
 pub mod indset;
 pub mod iso;
+pub mod subgraph;
 pub mod tree;
 
 pub use graph::{EdgeId, Graph, VertexId};
+pub use subgraph::{edge_deleted, vertex_deleted, EdgeDeleted, VertexDeleted};
 pub use tree::RootedTree;

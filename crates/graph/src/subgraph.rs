@@ -1,0 +1,193 @@
+//! Edge- and vertex-deleted subgraph views, for fault modeling.
+//!
+//! A link or router fault turns the healthy topology into a subgraph:
+//! the same network minus the failed elements. Because [`Graph`] assigns
+//! dense edge ids in insertion order, deleting elements renumbers the
+//! surviving edges (and, for vertex deletion, the surviving vertices), so
+//! each view carries explicit id maps in both directions. Recovery code
+//! uses the forward maps to translate a healthy-network plan onto the
+//! surviving fabric and the backward maps to report results in the
+//! original labeling.
+
+use crate::graph::{EdgeId, Graph, VertexId};
+
+/// A subgraph formed by deleting a set of edges. Vertex ids are unchanged;
+/// surviving edges are renumbered densely in original-id order.
+#[derive(Debug, Clone)]
+pub struct EdgeDeleted {
+    /// The surviving topology.
+    pub graph: Graph,
+    /// `orig_edge[new_id] = old_id` for every surviving edge.
+    pub orig_edge: Vec<EdgeId>,
+    /// `new_edge[old_id] = Some(new_id)` for survivors, `None` for deleted
+    /// edges.
+    pub new_edge: Vec<Option<EdgeId>>,
+}
+
+/// Deletes `removed` (original edge ids; duplicates allowed) from `g`.
+///
+/// Panics if an id is out of range — that indicates a bookkeeping bug in
+/// the caller, consistent with [`Graph::add_edge`]'s contract.
+pub fn edge_deleted(g: &Graph, removed: &[EdgeId]) -> EdgeDeleted {
+    let mut dead = vec![false; g.num_edges() as usize];
+    for &e in removed {
+        assert!((e as usize) < dead.len(), "edge id {e} out of range");
+        dead[e as usize] = true;
+    }
+    let mut graph = Graph::new(g.num_vertices());
+    let mut orig_edge = Vec::new();
+    let mut new_edge = vec![None; g.num_edges() as usize];
+    for (e, u, v) in g.edges() {
+        if dead[e as usize] {
+            continue;
+        }
+        let id = graph.add_edge(u, v);
+        new_edge[e as usize] = Some(id);
+        orig_edge.push(e);
+    }
+    EdgeDeleted { graph, orig_edge, new_edge }
+}
+
+/// A subgraph formed by deleting a set of vertices (and every incident
+/// edge). Survivors are renumbered densely, preserving relative order.
+#[derive(Debug, Clone)]
+pub struct VertexDeleted {
+    /// The surviving topology.
+    pub graph: Graph,
+    /// `orig_vertex[new_id] = old_id` for every surviving vertex.
+    pub orig_vertex: Vec<VertexId>,
+    /// `new_vertex[old_id] = Some(new_id)` for survivors, `None` for
+    /// deleted vertices.
+    pub new_vertex: Vec<Option<VertexId>>,
+    /// `orig_edge[new_id] = old_id` for every surviving edge.
+    pub orig_edge: Vec<EdgeId>,
+    /// `new_edge[old_id] = Some(new_id)` for survivors, `None` for edges
+    /// that lost an endpoint.
+    pub new_edge: Vec<Option<EdgeId>>,
+}
+
+/// Deletes `removed` (original vertex ids; duplicates allowed) from `g`.
+///
+/// Panics if an id is out of range.
+pub fn vertex_deleted(g: &Graph, removed: &[VertexId]) -> VertexDeleted {
+    let mut dead = vec![false; g.num_vertices() as usize];
+    for &v in removed {
+        assert!((v as usize) < dead.len(), "vertex id {v} out of range");
+        dead[v as usize] = true;
+    }
+    let mut orig_vertex = Vec::new();
+    let mut new_vertex = vec![None; g.num_vertices() as usize];
+    for v in g.vertices() {
+        if !dead[v as usize] {
+            new_vertex[v as usize] = Some(orig_vertex.len() as VertexId);
+            orig_vertex.push(v);
+        }
+    }
+    let mut graph = Graph::new(orig_vertex.len() as u32);
+    let mut orig_edge = Vec::new();
+    let mut new_edge = vec![None; g.num_edges() as usize];
+    for (e, u, v) in g.edges() {
+        if let (Some(nu), Some(nv)) = (new_vertex[u as usize], new_vertex[v as usize]) {
+            let id = graph.add_edge(nu, nv);
+            new_edge[e as usize] = Some(id);
+            orig_edge.push(e);
+        }
+    }
+    VertexDeleted { graph, orig_vertex, new_vertex, orig_edge, new_edge }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+
+    fn cycle(n: u32) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    #[test]
+    fn edge_deletion_renumbers_and_maps() {
+        let g = cycle(5); // edges 0:(0,1) 1:(1,2) 2:(2,3) 3:(3,4) 4:(0,4)
+        let view = edge_deleted(&g, &[1, 3]);
+        assert_eq!(view.graph.num_vertices(), 5);
+        assert_eq!(view.graph.num_edges(), 3);
+        assert_eq!(view.orig_edge, vec![0, 2, 4]);
+        assert_eq!(view.new_edge, vec![Some(0), None, Some(1), None, Some(2)]);
+        // Endpoints preserved under the map.
+        for (new, &old) in view.orig_edge.iter().enumerate() {
+            assert_eq!(view.graph.endpoints(new as u32), g.endpoints(old));
+        }
+    }
+
+    #[test]
+    fn edge_deletion_tolerates_duplicates_and_empty() {
+        let g = cycle(4);
+        let view = edge_deleted(&g, &[2, 2, 2]);
+        assert_eq!(view.graph.num_edges(), 3);
+        let full = edge_deleted(&g, &[]);
+        assert_eq!(full.graph.num_edges(), 4);
+        assert!(bfs::is_connected(&full.graph));
+    }
+
+    #[test]
+    fn deleting_a_cut_edge_disconnects() {
+        let mut g = Graph::new(4); // path 0-1-2-3
+        for i in 0..3 {
+            g.add_edge(i, i + 1);
+        }
+        let view = edge_deleted(&g, &[1]);
+        assert!(!bfs::is_connected(&view.graph));
+        let (_, k) = bfs::connected_components(&view.graph);
+        assert_eq!(k, 2);
+        assert_eq!(bfs::diameter(&view.graph), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_deletion_rejects_bad_id() {
+        edge_deleted(&cycle(3), &[7]);
+    }
+
+    #[test]
+    fn vertex_deletion_renumbers_and_maps() {
+        let g = cycle(5);
+        let view = vertex_deleted(&g, &[2]);
+        assert_eq!(view.graph.num_vertices(), 4);
+        assert_eq!(view.orig_vertex, vec![0, 1, 3, 4]);
+        assert_eq!(view.new_vertex, vec![Some(0), Some(1), None, Some(2), Some(3)]);
+        // Edges (1,2) and (2,3) are gone; survivors keep their endpoints
+        // under the vertex map.
+        assert_eq!(view.graph.num_edges(), 3);
+        for (new, &old) in view.orig_edge.iter().enumerate() {
+            let (u, v) = g.endpoints(old);
+            let (nu, nv) = view.graph.endpoints(new as u32);
+            assert_eq!(view.orig_vertex[nu as usize], u);
+            assert_eq!(view.orig_vertex[nv as usize], v);
+        }
+        // A cycle minus one vertex is a path: still connected.
+        assert!(bfs::is_connected(&view.graph));
+    }
+
+    #[test]
+    fn vertex_deletion_can_partition() {
+        let mut g = Graph::new(5); // star around 0 plus a pendant path
+        for v in 1..5 {
+            g.add_edge(0, v);
+        }
+        let view = vertex_deleted(&g, &[0]);
+        assert_eq!(view.graph.num_vertices(), 4);
+        assert_eq!(view.graph.num_edges(), 0);
+        assert!(!bfs::is_connected(&view.graph));
+        assert_eq!(bfs::eccentricity(&view.graph, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vertex_deletion_rejects_bad_id() {
+        vertex_deleted(&cycle(3), &[3]);
+    }
+}

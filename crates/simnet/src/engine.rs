@@ -19,6 +19,7 @@
 //! credit-based flow control with `vc_buffer` credits.
 
 use crate::embedding::{MultiTreeEmbedding, Phase};
+use crate::faults::{FaultReport, FaultSchedule, FaultState};
 use crate::trace::{EngineStall, TraceConfig, TraceReport, Tracer};
 use crate::workload::Workload;
 use pf_graph::Graph;
@@ -128,6 +129,19 @@ struct StreamState {
     recvq: VecDeque<u64>,
 }
 
+/// Result of a run with a fault layer attached
+/// ([`Simulator::with_faults`]).
+#[derive(Debug, Clone)]
+pub struct FaultedRun {
+    /// The ordinary simulation report. `completed` is `false` when
+    /// detection aborted the run.
+    pub report: SimReport,
+    /// The trace, when one was also enabled via [`Simulator::with_trace`].
+    pub trace: Option<TraceReport>,
+    /// What the fault layer injected and detected.
+    pub faults: FaultReport,
+}
+
 /// The cycle-level simulator. Construct once per embedding, then
 /// [`Simulator::run`].
 pub struct Simulator<'a> {
@@ -140,6 +154,7 @@ pub struct Simulator<'a> {
     channel_flits: Vec<u64>,
     max_vc_occupancy: usize,
     tracer: Option<Tracer>,
+    faults: Option<FaultState>,
 }
 
 impl<'a> Simulator<'a> {
@@ -192,7 +207,17 @@ impl<'a> Simulator<'a> {
         ];
         let rr = vec![0usize; emb.channel_streams.len()];
         let channel_flits = vec![0u64; emb.channel_streams.len()];
-        Simulator { emb, cfg, engines, streams, rr, channel_flits, max_vc_occupancy: 0, tracer: None }
+        Simulator {
+            emb,
+            cfg,
+            engines,
+            streams,
+            rr,
+            channel_flits,
+            max_vc_occupancy: 0,
+            tracer: None,
+            faults: None,
+        }
     }
 
     /// Enables observability per `tcfg` (see [`crate::trace`]). With
@@ -207,6 +232,17 @@ impl<'a> Simulator<'a> {
                 tcfg,
             )
         });
+        self
+    }
+
+    /// Attaches a fault-injection layer executing `schedule` (see
+    /// [`crate::faults`]). `g` must be the graph the embedding was built
+    /// from. With an empty schedule the layer stays attached but every
+    /// decision is identical to a run without it (property-tested, like
+    /// tracing).
+    pub fn with_faults(mut self, g: &Graph, schedule: FaultSchedule) -> Self {
+        assert_eq!(g.num_vertices(), self.emb.num_nodes);
+        self.faults = Some(FaultState::new(g, self.emb, &schedule));
         self
     }
 
@@ -233,10 +269,31 @@ impl<'a> Simulator<'a> {
     /// Tracing is purely observational: the `SimReport` is identical
     /// whether or not a tracer is attached.
     pub fn run_collective_traced(
-        mut self,
+        self,
         w: &Workload,
         kind: Collective,
     ) -> (SimReport, Option<TraceReport>) {
+        let (report, trace, _) = self.run_inner(w, kind);
+        (report, trace)
+    }
+
+    /// Runs the allreduce of `w` under the attached fault layer (or a
+    /// quiet one) and reports the fault layer's observations alongside.
+    pub fn run_faulted(self, w: &Workload) -> FaultedRun {
+        self.run_collective_faulted(w, Collective::Allreduce)
+    }
+
+    /// Like [`Simulator::run_faulted`] for an arbitrary collective.
+    pub fn run_collective_faulted(self, w: &Workload, kind: Collective) -> FaultedRun {
+        let (report, trace, faults) = self.run_inner(w, kind);
+        FaultedRun { report, trace, faults: faults.unwrap_or_else(FaultReport::quiet) }
+    }
+
+    fn run_inner(
+        mut self,
+        w: &Workload,
+        kind: Collective,
+    ) -> (SimReport, Option<TraceReport>, Option<FaultReport>) {
         assert_eq!(w.nodes(), self.emb.num_nodes);
         assert_eq!(w.len(), self.emb.total_len);
 
@@ -264,12 +321,20 @@ impl<'a> Simulator<'a> {
         let mut engine_budget = vec![0u32; self.emb.num_nodes as usize];
         let mut inject_budget = vec![0u32; self.emb.num_nodes as usize];
         // Detach the tracer from `self` so counter updates don't alias the
-        // stream/engine borrows below. `None` when tracing is off.
+        // stream/engine borrows below. `None` when tracing is off. The
+        // fault layer is detached the same way (and for the same reason).
         let mut tracer = self.tracer.take();
+        let mut faults = self.faults.take();
 
         let mut cycle = 0u64;
-        while deliveries < total_deliveries && cycle < self.cfg.max_cycles {
+        while deliveries < total_deliveries
+            && cycle < self.cfg.max_cycles
+            && !faults.as_ref().is_some_and(|f| f.should_abort())
+        {
             cycle += 1;
+            if let Some(fs) = faults.as_mut() {
+                fs.begin_cycle(cycle);
+            }
             if let Some(cap) = self.cfg.max_reductions_per_router {
                 engine_budget.fill(cap);
             }
@@ -277,8 +342,13 @@ impl<'a> Simulator<'a> {
                 inject_budget.fill(cap);
             }
 
-            // 1. Arrivals.
-            for st in &mut self.streams {
+            // 1. Arrivals. Flits in flight on a dead channel are stuck on
+            // the wire: they arrive only after the fault heals (transient
+            // outages delay, they never drop data).
+            for (s, st) in self.streams.iter_mut().enumerate() {
+                if faults.as_ref().is_some_and(|f| f.arrivals_frozen(s)) {
+                    continue;
+                }
                 while st.inflight.front().is_some_and(|&(t, _)| t <= cycle) {
                     let (_, v) = st.inflight.pop_front().unwrap();
                     st.recvq.push_back(v);
@@ -318,6 +388,10 @@ impl<'a> Simulator<'a> {
                     }
                 };
                 for v in 0..self.emb.num_nodes {
+                    // A dead router's engines and relays are halted.
+                    if faults.as_ref().is_some_and(|f| f.router_is_down(v as usize)) {
+                        continue;
+                    }
                     let is_root = tree.root == v;
 
                     // -- Reduction engine (allreduce / reduce) --
@@ -480,6 +554,25 @@ impl<'a> Simulator<'a> {
                 if members.is_empty() {
                     continue;
                 }
+                // A faulted channel transmits nothing this cycle. Full
+                // outages additionally charge a stall to every resident
+                // stream with staged data — the timeout/retry detector.
+                // (Tracer channel/stream hooks are skipped: the channel is
+                // physically dead, not arbitrating.)
+                if let Some(fs) = faults.as_mut() {
+                    if fs.channel_blocked(c, cycle) {
+                        if fs.channel_down(c) {
+                            let streams = &self.streams;
+                            fs.observe_outage(
+                                c,
+                                members,
+                                |s| !streams[s].sendq.is_empty(),
+                                cycle,
+                            );
+                        }
+                        continue;
+                    }
+                }
                 let k = members.len();
                 let start = self.rr[c];
                 let mut winner: Option<(usize, usize)> = None; // (rr offset, stream)
@@ -526,6 +619,9 @@ impl<'a> Simulator<'a> {
                     self.channel_flits[c] += 1;
                     self.max_vc_occupancy = self.max_vc_occupancy.max(occupancy + 1);
                     self.rr[c] = (start + off + 1) % k;
+                    if let Some(fs) = faults.as_mut() {
+                        fs.note_progress(s);
+                    }
                 }
             }
 
@@ -542,10 +638,14 @@ impl<'a> Simulator<'a> {
             .iter()
             .map(|&f| f as f64 / cycle.max(1) as f64)
             .fold(0.0, f64::max);
-        let trace = tracer.map(|mut tr| {
+        let fault_report = faults.map(|f| f.finish(completed));
+        let mut trace = tracer.map(|mut tr| {
             tr.sample_timeline(cycle, deliveries); // final sample (timeline runs only)
             tr.finish(self.emb, cycle)
         });
+        if let (Some(t), Some(fr)) = (trace.as_mut(), fault_report.as_ref()) {
+            t.faults = fr.records.clone();
+        }
         let report = SimReport {
             cycles: cycle,
             total_elems: self.emb.total_len,
@@ -558,7 +658,7 @@ impl<'a> Simulator<'a> {
             max_channel_utilization: max_util,
             max_vc_occupancy: self.max_vc_occupancy,
         };
-        (report, trace)
+        (report, trace, fault_report)
     }
 }
 

@@ -29,9 +29,16 @@
 //! [`hostbased`] adds congestion-aware phase models of classical host-based
 //! allreduce algorithms (ring, recursive doubling, Rabenseifner) as the
 //! baselines of the paper's §8 comparison.
+//!
+//! The [`faults`] module injects deterministic, seed-reproducible link and
+//! router faults (transient or permanent), models per-channel
+//! timeout/bounded-retry failure detection, and drives the
+//! `pf_allreduce::recovery` rebuild loop so the collective completes on
+//! the surviving fabric with quantified bandwidth loss (`docs/FAULTS.md`).
 
 pub mod embedding;
 pub mod engine;
+pub mod faults;
 pub mod hostbased;
 pub mod p2p;
 pub mod routing;
@@ -40,6 +47,10 @@ pub mod trace;
 pub mod workload;
 
 pub use embedding::MultiTreeEmbedding;
-pub use engine::{Collective, SimConfig, SimReport, Simulator};
-pub use trace::{TraceConfig, TraceReport};
+pub use engine::{Collective, FaultedRun, SimConfig, SimReport, Simulator};
+pub use faults::{
+    run_with_recovery, DetectionConfig, FaultEvent, FaultKind, FaultReport, FaultSchedule,
+    FaultTarget, RecoveryOutcome, RecoveryRound,
+};
+pub use trace::{FaultTraceRow, TraceConfig, TraceReport};
 pub use workload::Workload;

@@ -143,6 +143,27 @@ pub struct RouterTrace {
     pub budget_stall_cycles: u64,
 }
 
+/// One fault-layer action (injection, heal, retry expiration, or
+/// dead-declaration), as recorded by [`crate::faults`]. Appears in the
+/// trace's `faults` table; the table is absent from fault-free traces
+/// written before fault support and optional on parse, so the
+/// `pf-simnet-trace-v1` schema tag is unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultTraceRow {
+    /// Cycle the action happened at.
+    pub cycle: u64,
+    /// `"fail"`, `"degrade"`, `"heal"`, `"retry"`, or `"detected"`.
+    pub action: String,
+    /// `"link"`, `"router"`, or `"stream"` (retries are per stream).
+    pub target_kind: String,
+    /// Edge, router, or stream id, per `target_kind`.
+    pub target: u32,
+    /// Action-specific payload: fault duration (0 = permanent) for
+    /// `"fail"`, degrade period for `"degrade"`, the retry ordinal for
+    /// `"retry"`, 0 otherwise.
+    pub detail: u64,
+}
+
 /// One sample of global progress (taken every
 /// [`TraceConfig::timeline_interval`] cycles and at completion).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,6 +194,9 @@ pub struct TraceReport {
     pub routers: Vec<RouterTrace>,
     /// Progress samples (empty unless a timeline interval was set).
     pub timeline: Vec<TimelineSample>,
+    /// Fault-layer actions (empty unless faults were injected; see
+    /// [`crate::faults`] and `docs/FAULTS.md`).
+    pub faults: Vec<FaultTraceRow>,
 }
 
 impl TraceReport {
@@ -275,6 +299,17 @@ impl TraceReport {
                 t.cycle, t.deliveries, t.flits, t.active_channels,
             ));
         }
+        s.push_str("],\"faults\":[");
+        for (i, f) in self.faults.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"cycle\":{},\"action\":\"{}\",\"target_kind\":\"{}\",\
+                 \"target\":{},\"detail\":{}}}",
+                f.cycle, f.action, f.target_kind, f.target, f.detail,
+            ));
+        }
         s.push_str("]}");
         s
     }
@@ -355,6 +390,23 @@ impl TraceReport {
                 })
             })
             .collect::<Result<_, String>>()?;
+        // The faults table postdates the original v1 writer: absent means
+        // no fault layer was attached (or an older producer) — not an error.
+        let faults = obj
+            .get_array_opt("faults")?
+            .unwrap_or(&[])
+            .iter()
+            .map(|f| {
+                let f = f.as_object()?;
+                Ok(FaultTraceRow {
+                    cycle: f.get_u64("cycle")?,
+                    action: f.get_str("action")?.to_string(),
+                    target_kind: f.get_str("target_kind")?.to_string(),
+                    target: f.get_u64("target")? as u32,
+                    detail: f.get_u64("detail")?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
         Ok(TraceReport {
             cycles: obj.get_u64("cycles")?,
             total_flits: obj.get_u64("total_flits")?,
@@ -362,6 +414,7 @@ impl TraceReport {
             streams,
             routers,
             timeline,
+            faults,
         })
     }
 
@@ -442,6 +495,18 @@ impl TraceReport {
             s.push_str(&format!(
                 "{},{},{},{}\n",
                 t.cycle, t.deliveries, t.flits, t.active_channels
+            ));
+        }
+        s
+    }
+
+    /// Fault-layer actions as CSV (header included).
+    pub fn faults_csv(&self) -> String {
+        let mut s = String::from("cycle,action,target_kind,target,detail\n");
+        for f in &self.faults {
+            s.push_str(&format!(
+                "{},{},{},{},{}\n",
+                f.cycle, f.action, f.target_kind, f.target, f.detail
             ));
         }
         s
@@ -677,6 +742,7 @@ impl Tracer {
             streams,
             routers,
             timeline: self.timeline,
+            faults: Vec::new(),
         }
     }
 }
@@ -732,6 +798,15 @@ mod json {
             match self.get(key)? {
                 Value::Array(v) => Ok(v),
                 other => Err(format!("field {key:?} is not an array: {other:?}")),
+            }
+        }
+        /// Like [`Obj::get_array`], but a missing key is `Ok(None)` — for
+        /// tables added to the schema after its first release.
+        pub fn get_array_opt(&self, key: &str) -> Result<Option<&'a [Value]>, String> {
+            match self.0.get(key) {
+                None => Ok(None),
+                Some(Value::Array(v)) => Ok(Some(v)),
+                Some(other) => Err(format!("field {key:?} is not an array: {other:?}")),
             }
         }
     }
@@ -917,6 +992,13 @@ mod tests {
                 flits: 21,
                 active_channels: 2,
             }],
+            faults: vec![FaultTraceRow {
+                cycle: 30,
+                action: "fail".to_string(),
+                target_kind: "link".to_string(),
+                target: 0,
+                detail: 0,
+            }],
         }
     }
 
@@ -960,11 +1042,27 @@ mod tests {
     }
 
     #[test]
+    fn traces_without_a_faults_table_still_parse() {
+        // A trace written by the original v1 producer (pre-fault-injection)
+        // has no "faults" key; it must parse to an empty table.
+        let mut r = sample_report();
+        r.faults.clear();
+        let j = r.to_json().replace(",\"faults\":[]", "");
+        assert!(!j.contains("faults"));
+        let parsed = TraceReport::from_json(&j).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
     fn csv_outputs_are_rectangular() {
         let r = sample_report();
-        for csv in
-            [r.channels_csv(), r.streams_csv(), r.routers_csv(), r.timeline_csv()]
-        {
+        for csv in [
+            r.channels_csv(),
+            r.streams_csv(),
+            r.routers_csv(),
+            r.timeline_csv(),
+            r.faults_csv(),
+        ] {
             let mut lines = csv.lines();
             let cols = lines.next().unwrap().split(',').count();
             let mut rows = 0;

@@ -385,6 +385,45 @@ fn theorems_7_6_and_7_19_congestion_holds_at_runtime() {
 }
 
 #[test]
+fn theorem_5_1_pipeline_model_predicts_simulated_cycles() {
+    // The congestion check above re-proves the *bandwidth* side of the
+    // embedding at runtime; this is the *latency* side. For every
+    // fault-free configuration the analytic fill-plus-drain model
+    // (`AllreducePlan::predicted_cycles`) must agree with the simulated
+    // cycle count to within one pipeline fill, `2·depth·L + 1` cycles —
+    // the model charges a full fill and drain while the simulator
+    // overlaps them with the steady-state stream (docs/OBSERVABILITY.md
+    // derives the model; at m = 10_000 the gap is a single cycle).
+    use pf_allreduce::AllreducePlan;
+    use pf_simnet::{MultiTreeEmbedding, SimConfig, Simulator, Workload};
+
+    let cfg = SimConfig::default();
+    let hop = cfg.link_latency as u64;
+    let m = 2000;
+    for q in [3u64, 7, 11] {
+        let plans =
+            [AllreducePlan::low_depth(q).unwrap(), AllreducePlan::edge_disjoint(q, 30, 0x715 ^ q).unwrap()];
+        for plan in &plans {
+            let sizes = plan.split(m);
+            let emb = MultiTreeEmbedding::new(&plan.graph, &plan.trees, &sizes);
+            let w = Workload::new(plan.graph.num_vertices(), m);
+            let r = Simulator::new(&plan.graph, &emb, cfg).run(&w);
+            assert!(r.completed && r.mismatches == 0, "q={q}");
+
+            let predicted = plan.predicted_cycles(m, hop);
+            let tolerance = 2 * plan.depth as u64 * hop + 1;
+            let gap = predicted.abs_diff(r.cycles);
+            assert!(
+                gap <= tolerance,
+                "q={q} {}: predicted {predicted} vs measured {} (gap {gap} > fill {tolerance})",
+                plan.solution.label(),
+                r.cycles,
+            );
+        }
+    }
+}
+
+#[test]
 fn section_7_3_non_hamiltonian_paths_exist_iff_n_composite() {
     for q in ALL_QS {
         let s = Singer::new(q);
