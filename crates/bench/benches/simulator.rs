@@ -1,8 +1,11 @@
 //! Cycle-level simulator throughput benchmarks: how many simulated cycles
-//! per wall-clock second the engine sustains under each tree set.
+//! per wall-clock second the engine sustains under each tree set, and how
+//! the optimized active-set engine scales against the retained reference
+//! stepper (see docs/PERFORMANCE.md).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pf_allreduce::AllreducePlan;
+use pf_simnet::engine::Collective;
 use pf_simnet::{MultiTreeEmbedding, SimConfig, Simulator, Workload};
 use std::hint::black_box;
 
@@ -33,6 +36,61 @@ fn bench_simulator(c: &mut Criterion) {
     g.finish();
 }
 
+/// Optimized vs reference on the same sweep point, so a Criterion run
+/// shows the speedup directly (the committed trajectory lives in
+/// `BENCH_simnet.json` via `experiments perf-snapshot`).
+fn bench_engine_comparison(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    let m = 4000u64;
+    for q in [5u64, 11] {
+        let plan = AllreducePlan::low_depth(q).unwrap();
+        let sizes = plan.split(m);
+        let emb = MultiTreeEmbedding::new(&plan.graph, &plan.trees, &sizes);
+        let w = Workload::new(plan.graph.num_vertices(), m);
+        g.throughput(Throughput::Elements(m));
+        g.bench_with_input(BenchmarkId::new("optimized", q), &emb, |b, emb| {
+            b.iter(|| {
+                let (r, _, _) = Simulator::new(&plan.graph, black_box(emb), SimConfig::default())
+                    .run_optimized(&w, Collective::Allreduce);
+                r.cycles
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("reference", q), &emb, |b, emb| {
+            b.iter(|| {
+                let (r, _, _) = Simulator::new(&plan.graph, black_box(emb), SimConfig::default())
+                    .run_reference(&w, Collective::Allreduce);
+                r.cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+/// How the optimized engine scales with the modeled fabric: radix up at
+/// fixed vector length (scan overhead) and vector length up at fixed
+/// radix (steady-state throughput).
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_scaling");
+    g.sample_size(10);
+    for q in [5u64, 7, 9, 11, 13] {
+        let plan = AllreducePlan::low_depth(q).unwrap();
+        let m = 4000u64;
+        g.throughput(Throughput::Elements(m));
+        g.bench_with_input(BenchmarkId::new("radix", q), &plan, |b, p| {
+            b.iter(|| simulate(black_box(p), m))
+        });
+    }
+    let plan = AllreducePlan::low_depth(11).unwrap();
+    for m in [1000u64, 4000, 16_000] {
+        g.throughput(Throughput::Elements(m));
+        g.bench_with_input(BenchmarkId::new("vector", m), &plan, |b, p| {
+            b.iter(|| simulate(black_box(p), m))
+        });
+    }
+    g.finish();
+}
+
 fn bench_embedding_setup(c: &mut Criterion) {
     let plan = AllreducePlan::low_depth(11).unwrap();
     let sizes = plan.split(4000);
@@ -41,5 +99,11 @@ fn bench_embedding_setup(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_simulator, bench_embedding_setup);
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_engine_comparison,
+    bench_engine_scaling,
+    bench_embedding_setup
+);
 criterion_main!(benches);

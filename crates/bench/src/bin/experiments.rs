@@ -19,10 +19,18 @@
 //!   sim-split       ablation: optimal vs equal sub-vector split
 //!   sim-buffers     ablation: VC buffer depth vs throughput
 //!   sim-faults      fault injection: bandwidth vs failed links (recovery)
+//!   perf-snapshot   engine throughput vs the reference stepper -> JSON
 //!   all             everything above
 //! ```
 
 use pf_bench::{faults, sims, sweeps, tables};
+
+// Count heap allocations so perf-snapshot can report the optimized
+// engine's allocation-free hot loop next to the reference stepper's
+// per-fire churn.
+#[global_allocator]
+static ALLOC: pf_bench::perf_snapshot::CountingAllocator =
+    pf_bench::perf_snapshot::CountingAllocator;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -74,6 +82,19 @@ fn main() {
             &[3u64, 7, 11].into_iter().filter(|&q| q <= max_q).collect::<Vec<_>>(),
             opt_u64("--m", 4_000),
         ),
+        "perf-snapshot" => {
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("BENCH_simnet.json");
+            pf_bench::perf_snapshot::print_perf_snapshot(
+                &sim_qs,
+                opt_u64("--m", 4_000),
+                std::path::Path::new(out),
+            );
+        }
         "evenq-search" => sims::print_evenq_search(opt_u64("--attempts", 500) as usize),
         "torus-compare" => sims::print_torus_compare(opt_u64("--m", 200_000)),
         "starters" => sims::print_starters(opt_u64("--q", 11)),
@@ -109,7 +130,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!("known: table1 fig1 fig2 table2 fig4 fig5a fig5b disjoint-sweep totient");
-            eprintln!("       sim-bandwidth sim-crossover sim-split sim-buffers all");
+            eprintln!("       sim-bandwidth sim-crossover sim-split sim-buffers perf-snapshot all");
             std::process::exit(2);
         }
     };

@@ -9,6 +9,7 @@ pub mod csv;
 pub mod faults;
 pub mod figures;
 pub mod par;
+pub mod perf_snapshot;
 pub mod sims;
 pub mod sweeps;
 pub mod tables;

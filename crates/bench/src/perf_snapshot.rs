@@ -1,0 +1,365 @@
+//! Simulator performance snapshot: the `experiments perf-snapshot`
+//! subcommand.
+//!
+//! Runs the multi-tree allreduce through the optimized active-set engine
+//! and the retained reference stepper (`pf_simnet::engine::reference`,
+//! via the `reference-engine` feature), measuring wall time, simulated
+//! cycles per wall-clock second, and heap allocation counts, and writes
+//! the result to `BENCH_simnet.json`. The file is committed at the repo
+//! root, so the engine's performance trajectory is recorded PR-over-PR,
+//! and CI uploads each run's copy as an artifact (see
+//! `docs/PERFORMANCE.md` for the schema).
+//!
+//! Each radix is measured in the simulator's three operating regimes,
+//! because they stress opposite ends of the engine:
+//!
+//! * **latency** — short vector over long links (the Figure 5b / SIM2
+//!   small-message regime). Activity comes in bursts separated by
+//!   multi-cycle wire gaps, so the active sets collapse and the clock
+//!   skips; this is where the event-driven design recovers an order of
+//!   magnitude or more.
+//! * **saturated** — long vector at the default latency (the Figure 5a
+//!   bandwidth regime). Nearly every engine fires every cycle, so no
+//!   schedule can skip anything and the two engines do the same
+//!   fundamental per-flit work; the optimized engine's win here is
+//!   bounded (it merely avoids the reference's per-fire allocations).
+//! * **fault_retention** — a transient link outage freezes one subtree
+//!   for thousands of cycles (the `sim-faults` retention sweep). The
+//!   fault layer pins per-cycle stepping, but the active sets drain, so
+//!   each frozen cycle costs the optimized engine a few bitset words
+//!   instead of a full engine/channel/stream scan.
+//!
+//! The per-q summary reports the geometric mean across the three
+//! regimes — the standard cross-workload aggregate.
+//!
+//! Allocation counts come from [`CountingAllocator`], which the
+//! `experiments` binary installs as its `#[global_allocator]`; the
+//! optimized engine's steady state allocates nothing, so its per-run
+//! count stays flat in the vector length while the reference stepper's
+//! grows with every fired reduction.
+
+use crate::print_header;
+use pf_allreduce::AllreducePlan;
+use pf_simnet::engine::Collective;
+use pf_simnet::faults::{DetectionConfig, FaultEvent, FaultKind, FaultTarget};
+use pf_simnet::{FaultSchedule, MultiTreeEmbedding, SimConfig, Simulator, Workload};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A `System`-backed allocator that counts every allocation. Installed as
+/// the `experiments` binary's `#[global_allocator]`; code linked against
+/// the library without it simply reads zero deltas.
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Snapshot of the counters, for before/after deltas around a region.
+fn alloc_counters() -> (u64, u64) {
+    (ALLOCATIONS.load(Ordering::Relaxed), ALLOCATED_BYTES.load(Ordering::Relaxed))
+}
+
+/// One engine's measurement at one sweep point.
+#[derive(Debug, Clone)]
+pub struct EngineMeasurement {
+    /// "optimized" or "reference".
+    pub engine: &'static str,
+    /// Simulated cycles the run took (identical across engines by the
+    /// differential guarantee — asserted here too).
+    pub cycles: u64,
+    /// Best-of-runs wall time for one full simulation, in seconds.
+    pub wall_seconds: f64,
+    /// `cycles / wall_seconds` — the headline throughput metric.
+    pub cycles_per_sec: f64,
+    /// Heap allocations during one run (0 when the counting allocator is
+    /// not installed, i.e. outside the `experiments` binary).
+    pub allocations: u64,
+    /// Bytes requested during one run.
+    pub allocated_bytes: u64,
+}
+
+/// Both engines at one sweep point.
+#[derive(Debug, Clone)]
+pub struct PerfPoint {
+    /// Plan family ("low_depth" / "edge_disjoint").
+    pub label: &'static str,
+    /// Operating regime ("latency" / "saturated" / "fault_retention").
+    pub regime: &'static str,
+    /// PolarFly radix.
+    pub q: u64,
+    /// Vector length.
+    pub m: u64,
+    /// Measurements, optimized first.
+    pub engines: Vec<EngineMeasurement>,
+    /// Optimized cycles/sec over reference cycles/sec.
+    pub speedup: f64,
+}
+
+/// Per-radix aggregate over the low-depth allreduce regimes.
+#[derive(Debug, Clone)]
+pub struct QSummary {
+    /// PolarFly radix.
+    pub q: u64,
+    /// Geometric mean of the regime speedups at this radix.
+    pub allreduce_speedup: f64,
+}
+
+fn measure<F: Fn() -> u64>(engine: &'static str, runs: usize, run: F) -> EngineMeasurement {
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    let mut allocations = 0;
+    let mut allocated_bytes = 0;
+    for _ in 0..runs.max(1) {
+        let (a0, b0) = alloc_counters();
+        let t0 = Instant::now();
+        cycles = run();
+        let dt = t0.elapsed().as_secs_f64();
+        let (a1, b1) = alloc_counters();
+        if dt < best {
+            best = dt;
+            allocations = a1 - a0;
+            allocated_bytes = b1 - b0;
+        }
+    }
+    EngineMeasurement {
+        engine,
+        cycles,
+        wall_seconds: best,
+        cycles_per_sec: cycles as f64 / best.max(1e-12),
+        allocations,
+        allocated_bytes,
+    }
+}
+
+/// Measures one plan / regime / vector length through both engines.
+fn measure_point(
+    label: &'static str,
+    regime: &'static str,
+    q: u64,
+    plan: &AllreducePlan,
+    m: u64,
+    cfg: SimConfig,
+    faults: Option<&FaultSchedule>,
+) -> PerfPoint {
+    let sizes = plan.split(m);
+    let emb = MultiTreeEmbedding::new(&plan.graph, &plan.trees, &sizes);
+    let w = Workload::new(plan.graph.num_vertices(), m);
+    let runs = 3;
+
+    let run_engine = |optimized: bool| -> u64 {
+        let mut sim = Simulator::new(&plan.graph, &emb, cfg);
+        if let Some(f) = faults {
+            sim = sim.with_faults(&plan.graph, f.clone());
+        }
+        let (r, _, _) = if optimized {
+            sim.run_optimized(&w, Collective::Allreduce)
+        } else {
+            sim.run_reference(&w, Collective::Allreduce)
+        };
+        assert!(
+            r.completed && r.mismatches == 0,
+            "{label}/{regime} q={q}: run must complete cleanly"
+        );
+        r.cycles
+    };
+    let optimized = measure("optimized", runs, || run_engine(true));
+    let reference = measure("reference", runs, || run_engine(false));
+    assert_eq!(
+        optimized.cycles, reference.cycles,
+        "{label}/{regime} q={q}: engines disagree on simulated cycles"
+    );
+    let speedup = optimized.cycles_per_sec / reference.cycles_per_sec.max(1e-12);
+    PerfPoint { label, regime, q, m, engines: vec![optimized, reference], speedup }
+}
+
+/// First edge the plan actually routes flits over — the outage target for
+/// the fault-retention regime.
+fn used_edge(plan: &AllreducePlan) -> u32 {
+    plan.edge_congestion.iter().position(|&c| c > 0).expect("plan uses an edge") as u32
+}
+
+/// Runs the sweep: the three regimes of the low-depth plan at every
+/// radix, plus the edge-disjoint set at the largest radix, at saturated
+/// vector length `m`.
+pub fn collect(qs: &[u64], m: u64) -> Vec<PerfPoint> {
+    // Small-message latency regime: long links and a vector short enough
+    // that wire time dominates. Buffers stay small — a few-element slice
+    // never accumulates credits, and lean arenas keep the measurement on
+    // the stepping loop instead of on setup.
+    let latency_cfg = SimConfig { link_latency: 32, vc_buffer: 4, ..SimConfig::default() };
+    let mut points = Vec::new();
+    for &q in qs {
+        let plan = AllreducePlan::low_depth(q).expect("odd prime power");
+        points.push(measure_point("low_depth", "latency", q, &plan, 32, latency_cfg, None));
+        points.push(measure_point("low_depth", "saturated", q, &plan, m, SimConfig::default(), None));
+        // Transient outage on a used link: one subtree freezes for 3000
+        // cycles and heals; detection observes but does not abort. The
+        // vector is short so the frozen phase, not the warm-up, dominates
+        // (matching the retention sweep's many short faulted runs).
+        let outage = FaultSchedule {
+            events: vec![FaultEvent {
+                cycle: 10,
+                target: FaultTarget::Link(used_edge(&plan)),
+                kind: FaultKind::Down,
+                duration: Some(3_000),
+            }],
+            detection: DetectionConfig { timeout: 32, max_retries: 3, abort_on_detection: false },
+        };
+        points.push(measure_point(
+            "low_depth",
+            "fault_retention",
+            q,
+            &plan,
+            200,
+            SimConfig::default(),
+            Some(&outage),
+        ));
+    }
+    if let Some(&q) = qs.last() {
+        if let Ok(plan) = AllreducePlan::edge_disjoint(q, 30, 1) {
+            points.push(measure_point("edge_disjoint", "saturated", q, &plan, m, SimConfig::default(), None));
+        }
+    }
+    points
+}
+
+/// Aggregates the low-depth allreduce regimes into one speedup per radix
+/// (geometric mean, the standard cross-workload benchmark aggregate).
+pub fn summarize(points: &[PerfPoint]) -> Vec<QSummary> {
+    let mut out: Vec<QSummary> = Vec::new();
+    for p in points.iter().filter(|p| p.label == "low_depth") {
+        match out.iter_mut().find(|s| s.q == p.q) {
+            Some(s) => s.allreduce_speedup *= p.speedup,
+            None => out.push(QSummary { q: p.q, allreduce_speedup: p.speedup }),
+        }
+    }
+    let regimes =
+        points.iter().filter(|p| p.label == "low_depth").map(|p| p.regime).collect::<std::collections::BTreeSet<_>>().len();
+    for s in &mut out {
+        s.allreduce_speedup = s.allreduce_speedup.powf(1.0 / regimes.max(1) as f64);
+    }
+    out
+}
+
+/// Serializes the sweep as `pf-bench-simnet-perf-v1` JSON (schema in
+/// `docs/PERFORMANCE.md`).
+pub fn to_json(points: &[PerfPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"pf-bench-simnet-perf-v1\",\n  \"summary\": [\n");
+    let summary = summarize(points);
+    for (i, s) in summary.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"q\": {}, \"allreduce_speedup\": {:.3}}}{}\n",
+            s.q,
+            s.allreduce_speedup,
+            if i + 1 < summary.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"regime\": \"{}\", \"q\": {}, \"m\": {}, \
+             \"speedup\": {:.3}, \"engines\": [\n",
+            p.label, p.regime, p.q, p.m, p.speedup
+        ));
+        for (j, e) in p.engines.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"engine\": \"{}\", \"cycles\": {}, \"wall_seconds\": {:.6}, \
+                 \"cycles_per_sec\": {:.0}, \"allocations\": {}, \"allocated_bytes\": {}}}{}\n",
+                e.engine,
+                e.cycles,
+                e.wall_seconds,
+                e.cycles_per_sec,
+                e.allocations,
+                e.allocated_bytes,
+                if j + 1 < p.engines.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!("    ]}}{}\n", if i + 1 < points.len() { "," } else { "" }));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The `experiments perf-snapshot` entry point: measures, prints a table,
+/// and writes `out`.
+pub fn print_perf_snapshot(qs: &[u64], m: u64, out: &Path) {
+    print_header("PERF simulator engine snapshot (optimized vs reference)");
+    let points = collect(qs, m);
+    println!(
+        "{:<14} {:<16} {:>3} {:>7} {:>13} {:>13} {:>11} {:>9}",
+        "plan", "regime", "q", "m", "opt cyc/s", "ref cyc/s", "opt allocs", "speedup"
+    );
+    for p in &points {
+        println!(
+            "{:<14} {:<16} {:>3} {:>7} {:>13.0} {:>13.0} {:>11} {:>8.2}x",
+            p.label,
+            p.regime,
+            p.q,
+            p.m,
+            p.engines[0].cycles_per_sec,
+            p.engines[1].cycles_per_sec,
+            p.engines[0].allocations,
+            p.speedup
+        );
+    }
+    for s in summarize(&points) {
+        println!("q={:<3} allreduce speedup (geomean over regimes): {:.2}x", s.q, s.allreduce_speedup);
+    }
+    std::fs::write(out, to_json(&points)).expect("write BENCH_simnet.json");
+    println!("wrote {}", out.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_points_are_consistent() {
+        let points = collect(&[3], 400);
+        assert_eq!(points.len(), 4, "3 low_depth regimes + edge_disjoint");
+        for p in &points {
+            assert_eq!(p.engines.len(), 2);
+            assert_eq!(p.engines[0].engine, "optimized");
+            assert_eq!(p.engines[1].engine, "reference");
+            assert_eq!(p.engines[0].cycles, p.engines[1].cycles);
+            assert!(p.speedup > 0.0);
+        }
+        let regimes: Vec<&str> = points.iter().map(|p| p.regime).collect();
+        assert_eq!(regimes, ["latency", "saturated", "fault_retention", "saturated"]);
+        let summary = summarize(&points);
+        assert_eq!(summary.len(), 1);
+        assert_eq!(summary[0].q, 3);
+        assert!(summary[0].allreduce_speedup > 0.0);
+        let json = to_json(&points);
+        assert!(json.contains("pf-bench-simnet-perf-v1"));
+        assert!(json.contains("\"regime\": \"latency\""));
+        assert!(json.contains("\"allreduce_speedup\""));
+    }
+}

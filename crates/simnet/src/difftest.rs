@@ -1,0 +1,273 @@
+//! Differential suite: the active-set engine versus the retained
+//! reference stepper.
+//!
+//! Every test builds two identically-configured simulators over the same
+//! embedding and workload, runs one through the optimized `run_inner` and
+//! the other through [`crate::engine::reference`], and asserts the outputs
+//! are *byte-identical*: `SimReport` by `PartialEq` (covers every counter
+//! including floats, which must come from the same integer arithmetic),
+//! traces by their serialized JSON bytes, and `FaultReport` by
+//! `PartialEq` (covers the ordered `FaultTraceRow` action log, so retry
+//! and detection cycle stamps must match exactly).
+//!
+//! The matrix spans the paper's radixes (q ∈ {3, 5, 7, 9, 11}), all three
+//! collectives, low-depth and edge-disjoint plans, per-router /
+//! per-node caps, tracing on/off, and fault schedules (permanent,
+//! transient-healing, degraded, router) — the cases where cycle skipping,
+//! active sets and lazy budgets could plausibly diverge from the
+//! per-cycle full-scan semantics.
+
+use crate::embedding::MultiTreeEmbedding;
+use crate::engine::{Collective, SimConfig, Simulator};
+use crate::faults::{
+    DetectionConfig, FaultEvent, FaultKind, FaultSchedule, FaultTarget,
+};
+use crate::trace::TraceConfig;
+use crate::workload::Workload;
+use pf_allreduce::AllreducePlan;
+
+/// One prepared scenario both engines run.
+struct Case {
+    plan: AllreducePlan,
+    m: u64,
+    cfg: SimConfig,
+    trace: Option<TraceConfig>,
+    faults: Option<FaultSchedule>,
+}
+
+impl Case {
+    fn new(plan: AllreducePlan, m: u64) -> Self {
+        Case { plan, m, cfg: SimConfig::default(), trace: None, faults: None }
+    }
+
+    fn sim<'a>(&self, emb: &'a MultiTreeEmbedding) -> Simulator<'a> {
+        let mut sim = Simulator::new(&self.plan.graph, emb, self.cfg);
+        if let Some(tcfg) = self.trace {
+            sim = sim.with_trace(tcfg);
+        }
+        if let Some(schedule) = &self.faults {
+            sim = sim.with_faults(&self.plan.graph, schedule.clone());
+        }
+        sim
+    }
+
+    /// Runs the case through both engines and asserts byte identity.
+    fn assert_identical(&self, kind: Collective, label: &str) {
+        let sizes = self.plan.split(self.m);
+        let emb = MultiTreeEmbedding::new(&self.plan.graph, &self.plan.trees, &sizes);
+        let w = Workload::new(self.plan.graph.num_vertices(), self.m);
+        let (opt_report, opt_trace, opt_faults) = self.sim(&emb).run_optimized(&w, kind);
+        let (ref_report, ref_trace, ref_faults) = self.sim(&emb).run_reference(&w, kind);
+
+        assert_eq!(opt_report, ref_report, "{label}: SimReport diverged");
+        match (&opt_trace, &ref_trace) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a, b, "{label}: TraceReport diverged");
+                assert_eq!(a.to_json(), b.to_json(), "{label}: trace bytes diverged");
+            }
+            _ => panic!("{label}: one engine produced a trace, the other did not"),
+        }
+        assert_eq!(opt_faults, ref_faults, "{label}: FaultReport diverged");
+    }
+}
+
+/// The edge both schedules target: the first edge the plan actually uses,
+/// so outages bite.
+fn used_edge(plan: &AllreducePlan) -> u32 {
+    plan.edge_congestion.iter().position(|&c| c > 0).expect("plan uses an edge") as u32
+}
+
+const COLLECTIVES: [Collective; 3] =
+    [Collective::Allreduce, Collective::Reduce, Collective::Broadcast];
+
+#[test]
+fn low_depth_all_radixes_all_collectives() {
+    for q in [3u64, 5, 7, 9, 11] {
+        let plan = AllreducePlan::low_depth(q).unwrap();
+        let m = 300;
+        for kind in COLLECTIVES {
+            Case::new(plan.clone(), m).assert_identical(kind, &format!("low_depth q={q} {kind:?}"));
+        }
+    }
+}
+
+#[test]
+fn edge_disjoint_plans_match() {
+    for q in [3u64, 7] {
+        let plan = AllreducePlan::edge_disjoint(q, 40, 0xD1FF).unwrap();
+        for kind in COLLECTIVES {
+            Case::new(plan.clone(), 400)
+                .assert_identical(kind, &format!("edge_disjoint q={q} {kind:?}"));
+        }
+    }
+}
+
+#[test]
+fn capped_runs_match() {
+    // Per-router and per-node caps exercise the lazy epoch-stamped budget
+    // refill against the reference's eager per-cycle memset, including the
+    // budget-stall rearm path of the active set.
+    let plan = AllreducePlan::low_depth(7).unwrap();
+    for (caps, label) in [
+        (SimConfig { max_reductions_per_router: Some(1), ..Default::default() }, "engine cap"),
+        (SimConfig { max_injections_per_node: Some(1), ..Default::default() }, "inject cap"),
+        (
+            SimConfig {
+                max_reductions_per_router: Some(2),
+                max_injections_per_node: Some(1),
+                ..Default::default()
+            },
+            "both caps",
+        ),
+    ] {
+        let mut case = Case::new(plan.clone(), 400);
+        case.cfg = caps;
+        case.assert_identical(Collective::Allreduce, label);
+    }
+}
+
+#[test]
+fn tight_queue_configs_match() {
+    // Small buffers produce heavy credit stalls (active channels with no
+    // winner); a 1-flit VC serializes to round-trip rate and leans on the
+    // skip path through the latency gaps.
+    let plan = AllreducePlan::low_depth(5).unwrap();
+    for (cfg, label) in [
+        (SimConfig { vc_buffer: 1, ..Default::default() }, "vc=1"),
+        (SimConfig { source_queue: 1, ..Default::default() }, "sq=1"),
+        (SimConfig { link_latency: 9, vc_buffer: 3, ..Default::default() }, "latency>buffer"),
+    ] {
+        let mut case = Case::new(plan.clone(), 250);
+        case.cfg = cfg;
+        case.assert_identical(Collective::Allreduce, label);
+    }
+}
+
+#[test]
+fn traced_runs_match_to_the_byte() {
+    // Tracing pins per-cycle stepping in the optimized engine; every
+    // stall-attribution, occupancy and timeline sample must land on the
+    // same cycle with the same value as the reference full scan.
+    let plan = AllreducePlan::low_depth(5).unwrap();
+    for (tcfg, label) in
+        [(TraceConfig::counters(), "counters"), (TraceConfig::with_timeline(64), "timeline")]
+    {
+        for kind in COLLECTIVES {
+            let mut case = Case::new(plan.clone(), 300);
+            case.trace = Some(tcfg);
+            case.assert_identical(kind, &format!("trace {label} {kind:?}"));
+        }
+    }
+}
+
+#[test]
+fn traced_capped_runs_match() {
+    // Budget stalls are the only tracer rows whose attribution depends on
+    // the lazy refill: pin them against the reference.
+    let plan = AllreducePlan::low_depth(7).unwrap();
+    let mut case = Case::new(plan, 300);
+    case.cfg = SimConfig { max_reductions_per_router: Some(1), ..Default::default() };
+    case.trace = Some(TraceConfig::counters());
+    case.assert_identical(Collective::Allreduce, "traced + engine cap");
+}
+
+#[test]
+fn incomplete_runs_match() {
+    // max_cycles exhaustion: the skip path must land on exactly the same
+    // final cycle count as the reference's idle ticking.
+    let plan = AllreducePlan::low_depth(5).unwrap();
+    let mut case = Case::new(plan, 5_000);
+    case.cfg = SimConfig { max_cycles: 700, ..Default::default() };
+    case.assert_identical(Collective::Allreduce, "max_cycles backstop");
+}
+
+#[test]
+fn faulted_runs_match() {
+    let plan = AllreducePlan::low_depth(7).unwrap();
+    let e = used_edge(&plan);
+    let schedules: Vec<(FaultSchedule, &str)> = vec![
+        (FaultSchedule::permanent_links(&[e], 50), "permanent link"),
+        (
+            FaultSchedule {
+                events: vec![FaultEvent {
+                    cycle: 50,
+                    target: FaultTarget::Link(e),
+                    kind: FaultKind::Down,
+                    duration: Some(40),
+                }],
+                detection: DetectionConfig::default(),
+            },
+            "transient link",
+        ),
+        (
+            FaultSchedule {
+                events: vec![FaultEvent {
+                    cycle: 1,
+                    target: FaultTarget::Link(e),
+                    kind: FaultKind::Degraded { period: 4 },
+                    duration: None,
+                }],
+                detection: DetectionConfig::default(),
+            },
+            "degraded link",
+        ),
+        (
+            FaultSchedule {
+                events: vec![FaultEvent {
+                    cycle: 30,
+                    target: FaultTarget::Router(3),
+                    kind: FaultKind::Down,
+                    duration: None,
+                }],
+                detection: DetectionConfig::default(),
+            },
+            "router down",
+        ),
+        (
+            FaultSchedule {
+                events: vec![FaultEvent {
+                    cycle: 40,
+                    target: FaultTarget::Link(e),
+                    kind: FaultKind::Down,
+                    duration: Some(200),
+                }],
+                detection: DetectionConfig {
+                    timeout: 16,
+                    max_retries: 4,
+                    abort_on_detection: false,
+                },
+            },
+            "no-abort detection",
+        ),
+        (FaultSchedule::none(), "empty schedule"),
+        (FaultSchedule::permanent_links(&[e], 1_000_000_000), "never fires"),
+    ];
+    for (schedule, label) in schedules {
+        let mut case = Case::new(plan.clone(), 1_500);
+        case.faults = Some(schedule);
+        case.assert_identical(Collective::Allreduce, label);
+    }
+}
+
+#[test]
+fn traced_faulted_runs_match() {
+    // The full stack: tracer rows, fault rows, and the fault table folded
+    // into the trace must all serialize to the same bytes.
+    let plan = AllreducePlan::low_depth(7).unwrap();
+    let e = used_edge(&plan);
+    let mut case = Case::new(plan, 1_000);
+    case.trace = Some(TraceConfig::counters());
+    case.faults = Some(FaultSchedule::permanent_links(&[e], 50));
+    case.assert_identical(Collective::Allreduce, "traced + permanent fault");
+}
+
+#[test]
+fn zero_length_and_tiny_vectors_match() {
+    let plan = AllreducePlan::low_depth(3).unwrap();
+    for m in [0u64, 1, 2, 13] {
+        for kind in COLLECTIVES {
+            Case::new(plan.clone(), m).assert_identical(kind, &format!("m={m} {kind:?}"));
+        }
+    }
+}

@@ -17,13 +17,43 @@
 //! Credits are implicit: a stream may transmit only while
 //! `receiver-buffer occupancy + in-flight < vc_buffer`, which is exactly
 //! credit-based flow control with `vc_buffer` credits.
+//!
+//! # Execution strategy
+//!
+//! The model above is what the simulator *computes*; it is not how the hot
+//! loop *iterates*. A naive stepper re-scans every (tree, node) engine,
+//! every stream and every directed channel on every cycle, which makes
+//! large-radix sweeps compute-bound on scan overhead rather than on the
+//! modeled fabric. This engine instead keeps incremental **active sets**
+//! (see `docs/PERFORMANCE.md`):
+//!
+//! * a per-tree bitset of engines whose inputs, credits or budgets may have
+//!   changed since they last stalled — only those are re-evaluated,
+//! * a bitset of channels with at least one staged flit — only those
+//!   arbitrate,
+//! * a bitset of streams with flits on the wire — only those are polled for
+//!   arrivals,
+//! * and when a cycle makes no progress at all, the clock **skips** directly
+//!   to the earliest in-flight arrival or fault-schedule transition instead
+//!   of ticking idly (latency tails, drain phases, fault-frozen fabrics).
+//!
+//! All queue state lives in flat, pre-sized ring-buffer arenas — the steady
+//! state allocates nothing. The pre-optimization stepper is retained as
+//! [`mod@reference`] (behind `cfg(test)` / the `reference-engine` feature) and a
+//! differential suite (`src/difftest.rs`) asserts byte-identical
+//! [`SimReport`]s, trace bytes and [`FaultReport`]s across collectives,
+//! radixes, caps, tracing and fault schedules. Tracing pins per-cycle
+//! stepping (no skip, full scans) so observed stall attribution is identical
+//! to the reference stepper's.
 
 use crate::embedding::{MultiTreeEmbedding, Phase};
 use crate::faults::{FaultReport, FaultSchedule, FaultState};
 use crate::trace::{EngineStall, TraceConfig, TraceReport, Tracer};
 use crate::workload::Workload;
 use pf_graph::Graph;
-use std::collections::VecDeque;
+
+#[cfg(any(test, feature = "reference-engine"))]
+pub mod reference;
 
 /// Simulator knobs.
 #[derive(Debug, Clone, Copy)]
@@ -108,27 +138,6 @@ pub struct SimReport {
     pub max_vc_occupancy: usize,
 }
 
-/// Per-(tree, node) dataflow wiring and progress.
-#[derive(Debug, Clone)]
-struct Engine {
-    reduce_in: Vec<u32>,
-    reduce_out: Option<u32>,
-    bcast_in: Option<u32>,
-    bcast_out: Vec<u32>,
-    /// Local elements consumed by the reduction (0..len).
-    reduced: u64,
-    /// Broadcast elements delivered locally (0..len).
-    delivered: u64,
-}
-
-/// One logical stream's queues.
-#[derive(Debug, Clone)]
-struct StreamState {
-    sendq: VecDeque<u64>,
-    inflight: VecDeque<(u64, u64)>, // (arrival cycle, value)
-    recvq: VecDeque<u64>,
-}
-
 /// Result of a run with a fault layer attached
 /// ([`Simulator::with_faults`]).
 #[derive(Debug, Clone)]
@@ -147,12 +156,6 @@ pub struct FaultedRun {
 pub struct Simulator<'a> {
     emb: &'a MultiTreeEmbedding,
     cfg: SimConfig,
-    /// engines[tree][node]
-    engines: Vec<Vec<Engine>>,
-    streams: Vec<StreamState>,
-    rr: Vec<usize>, // round-robin pointer per channel
-    channel_flits: Vec<u64>,
-    max_vc_occupancy: usize,
     tracer: Option<Tracer>,
     faults: Option<FaultState>,
 }
@@ -164,65 +167,13 @@ impl<'a> Simulator<'a> {
         assert!(cfg.link_latency >= 1, "links need at least one cycle of latency");
         assert!(cfg.vc_buffer >= 1 && cfg.source_queue >= 1, "queues must hold at least one flit");
         assert_eq!(g.num_vertices(), emb.num_nodes);
-
-        let n = emb.num_nodes as usize;
-        let mut engines: Vec<Vec<Engine>> = emb
-            .trees
-            .iter()
-            .map(|_| {
-                (0..n)
-                    .map(|_| Engine {
-                        reduce_in: Vec::new(),
-                        reduce_out: None,
-                        bcast_in: None,
-                        bcast_out: Vec::new(),
-                        reduced: 0,
-                        delivered: 0,
-                    })
-                    .collect()
-            })
-            .collect();
-
-        for (si, s) in emb.streams.iter().enumerate() {
-            let si = si as u32;
-            match s.phase {
-                Phase::Reduce => {
-                    engines[s.tree as usize][s.dst as usize].reduce_in.push(si);
-                    engines[s.tree as usize][s.src as usize].reduce_out = Some(si);
-                }
-                Phase::Broadcast => {
-                    engines[s.tree as usize][s.src as usize].bcast_out.push(si);
-                    engines[s.tree as usize][s.dst as usize].bcast_in = Some(si);
-                }
-            }
-        }
-
-        let streams = vec![
-            StreamState {
-                sendq: VecDeque::new(),
-                inflight: VecDeque::new(),
-                recvq: VecDeque::new(),
-            };
-            emb.streams.len()
-        ];
-        let rr = vec![0usize; emb.channel_streams.len()];
-        let channel_flits = vec![0u64; emb.channel_streams.len()];
-        Simulator {
-            emb,
-            cfg,
-            engines,
-            streams,
-            rr,
-            channel_flits,
-            max_vc_occupancy: 0,
-            tracer: None,
-            faults: None,
-        }
+        Simulator { emb, cfg, tracer: None, faults: None }
     }
 
     /// Enables observability per `tcfg` (see [`crate::trace`]). With
     /// [`TraceConfig::off`] (the default) no tracer is allocated and the
-    /// run is exactly the untraced one.
+    /// run is exactly the untraced one. A traced run steps every cycle
+    /// (no idle-cycle skipping) so stall attribution is exact.
     pub fn with_trace(mut self, tcfg: TraceConfig) -> Self {
         self.tracer = tcfg.enabled.then(|| {
             Tracer::new(
@@ -289,379 +240,899 @@ impl<'a> Simulator<'a> {
         FaultedRun { report, trace, faults: faults.unwrap_or_else(FaultReport::quiet) }
     }
 
+    /// Runs `w` on the retained pre-optimization stepper (see
+    /// [`mod@reference`]). Kept solely so differential tests and the
+    /// `experiments perf-snapshot` harness can compare the optimized
+    /// engine against it — new code should call [`Simulator::run`].
+    #[cfg(any(test, feature = "reference-engine"))]
+    pub fn run_reference(
+        self,
+        w: &Workload,
+        kind: Collective,
+    ) -> (SimReport, Option<TraceReport>, Option<FaultReport>) {
+        reference::run(self, w, kind)
+    }
+
+    /// The optimized engine's raw `(report, trace, faults)` triple — the
+    /// exact counterpart of [`Simulator::run_reference`], exposed with the
+    /// same gating so differential harnesses compare like with like.
+    #[cfg(any(test, feature = "reference-engine"))]
+    pub fn run_optimized(
+        self,
+        w: &Workload,
+        kind: Collective,
+    ) -> (SimReport, Option<TraceReport>, Option<FaultReport>) {
+        self.run_inner(w, kind)
+    }
+
     fn run_inner(
-        mut self,
+        self,
         w: &Workload,
         kind: Collective,
     ) -> (SimReport, Option<TraceReport>, Option<FaultReport>) {
         assert_eq!(w.nodes(), self.emb.num_nodes);
         assert_eq!(w.len(), self.emb.total_len);
 
-        let n = self.emb.num_nodes as u64;
-        // Deliveries per tree: every node for allreduce/broadcast, the
-        // root only for reduce.
-        let per_tree_sinks = match kind {
-            Collective::Allreduce | Collective::Broadcast => n,
-            Collective::Reduce => 1,
-        };
-        let total_deliveries: u64 =
-            self.emb.trees.iter().map(|t| t.len * per_tree_sinks).sum();
-        let live_pairs: u64 = self
-            .emb
-            .trees
-            .iter()
-            .map(|t| if t.len > 0 { per_tree_sinks } else { 0 })
-            .sum();
-        let mut first_done_pairs = 0u64;
-        let mut first_element_latency = 0u64;
-        let mut deliveries = 0u64;
-        let mut mismatches = 0u64;
-        let mut tree_completion = vec![0u64; self.emb.trees.len()];
-        let mut tree_deliveries = vec![0u64; self.emb.trees.len()];
-        let mut engine_budget = vec![0u32; self.emb.num_nodes as usize];
-        let mut inject_budget = vec![0u32; self.emb.num_nodes as usize];
-        // Detach the tracer from `self` so counter updates don't alias the
-        // stream/engine borrows below. `None` when tracing is off. The
-        // fault layer is detached the same way (and for the same reason).
-        let mut tracer = self.tracer.take();
-        let mut faults = self.faults.take();
+        let Simulator { emb, cfg, mut tracer, mut faults } = self;
+        let mut st = RunState::new(emb, cfg, kind);
 
+        let traced = tracer.is_some();
         let mut cycle = 0u64;
-        while deliveries < total_deliveries
-            && cycle < self.cfg.max_cycles
+        while st.deliveries < st.total_deliveries
+            && cycle < cfg.max_cycles
             && !faults.as_ref().is_some_and(|f| f.should_abort())
         {
             cycle += 1;
             if let Some(fs) = faults.as_mut() {
                 fs.begin_cycle(cycle);
             }
-            if let Some(cap) = self.cfg.max_reductions_per_router {
-                engine_budget.fill(cap);
-            }
-            if let Some(cap) = self.cfg.max_injections_per_node {
-                inject_budget.fill(cap);
-            }
+            st.progress = false;
 
-            // 1. Arrivals. Flits in flight on a dead channel are stuck on
-            // the wire: they arrive only after the fault heals (transient
-            // outages delay, they never drop data).
-            for (s, st) in self.streams.iter_mut().enumerate() {
-                if faults.as_ref().is_some_and(|f| f.arrivals_frozen(s)) {
-                    continue;
-                }
-                while st.inflight.front().is_some_and(|&(t, _)| t <= cycle) {
-                    let (_, v) = st.inflight.pop_front().unwrap();
-                    st.recvq.push_back(v);
-                }
-            }
-
-            // 2. Compute.
-            // Rotate tree priority per cycle so shared per-node budgets
-            // (engine/injection caps) are served max-min fairly instead of
-            // starving high-index trees.
-            let ntrees = self.emb.trees.len();
-            for ti in (0..ntrees).map(|i| (i + cycle as usize) % ntrees.max(1)) {
-                let tree = &self.emb.trees[ti];
-                if tree.len == 0 {
-                    continue;
-                }
-                // The broadcast's expected payload: the global reduction for
-                // allreduce, the root's own input for a pure broadcast.
-                let expected = |elem: u64| match kind {
-                    Collective::Broadcast => w.input(tree.root, tree.offset + elem),
-                    _ => w.expected(tree.offset + elem),
-                };
-                let mut deliver = |eng: &mut Engine,
-                                   deliveries: &mut u64,
-                                   tree_deliveries: &mut [u64]| {
-                    eng.delivered += 1;
-                    if eng.delivered == 1 {
-                        first_done_pairs += 1;
-                        if first_done_pairs == live_pairs {
-                            first_element_latency = cycle;
-                        }
-                    }
-                    *deliveries += 1;
-                    tree_deliveries[ti] += 1;
-                    if tree_deliveries[ti] == tree.len * per_tree_sinks {
-                        tree_completion[ti] = cycle;
-                    }
-                };
-                for v in 0..self.emb.num_nodes {
-                    // A dead router's engines and relays are halted.
-                    if faults.as_ref().is_some_and(|f| f.router_is_down(v as usize)) {
-                        continue;
-                    }
-                    let is_root = tree.root == v;
-
-                    // -- Reduction engine (allreduce / reduce) --
-                    let eng = &self.engines[ti][v as usize];
-                    if kind != Collective::Broadcast && eng.reduced < tree.len {
-                        let engine_free = self.cfg.max_reductions_per_router.is_none()
-                            || engine_budget[v as usize] > 0;
-                        let inject_free = self.cfg.max_injections_per_node.is_none()
-                            || inject_budget[v as usize] > 0;
-                        let inputs_ready = eng
-                            .reduce_in
-                            .iter()
-                            .all(|&s| !self.streams[s as usize].recvq.is_empty());
-                        let out_ok = match eng.reduce_out {
-                            Some(s) => {
-                                self.streams[s as usize].sendq.len() < self.cfg.source_queue
-                            }
-                            None => true,
-                        };
-                        // An allreduce root turns the result straight into
-                        // the broadcast, so it needs space on every down
-                        // stream.
-                        let bcast_ok = !(is_root && kind == Collective::Allreduce)
-                            || eng.bcast_out.iter().all(|&s| {
-                                self.streams[s as usize].sendq.len() < self.cfg.source_queue
-                            });
-                        if let Some(tr) = tracer.as_mut() {
-                            if !(engine_free && inject_free && inputs_ready && out_ok && bcast_ok)
-                            {
-                                // Attribute the stall: missing inputs first
-                                // (most fundamental), then budget, then a
-                                // blocked output path.
-                                let why = if !inputs_ready {
-                                    EngineStall::InputStarved
-                                } else if !engine_free || !inject_free {
-                                    EngineStall::Budget
-                                } else {
-                                    EngineStall::OutputBlocked
-                                };
-                                tr.engine_stalled(v as usize, why);
-                            } else {
-                                tr.reduction_fired(v as usize);
-                            }
-                        }
-                        if engine_free && inject_free && inputs_ready && out_ok && bcast_ok {
-                            if self.cfg.max_reductions_per_router.is_some() {
-                                engine_budget[v as usize] -= 1;
-                            }
-                            if self.cfg.max_injections_per_node.is_some() {
-                                inject_budget[v as usize] -= 1;
-                            }
-                            let eng = &mut self.engines[ti][v as usize];
-                            let elem = eng.reduced;
-                            eng.reduced += 1;
-                            let mut acc = w.input(v, tree.offset + elem);
-                            let ins: Vec<u32> = eng.reduce_in.clone();
-                            for s in ins {
-                                let x =
-                                    self.streams[s as usize].recvq.pop_front().unwrap();
-                                acc = w.combine(acc, x);
-                            }
-                            let eng = &self.engines[ti][v as usize];
-                            if is_root {
-                                if !w.value_close(acc, w.expected(tree.offset + elem)) {
-                                    mismatches += 1;
-                                }
-                                if kind == Collective::Allreduce {
-                                    let outs: Vec<u32> = eng.bcast_out.clone();
-                                    for s in outs {
-                                        self.streams[s as usize].sendq.push_back(acc);
-                                    }
-                                }
-                                deliver(
-                                    &mut self.engines[ti][v as usize],
-                                    &mut deliveries,
-                                    &mut tree_deliveries,
-                                );
-                            } else {
-                                let s = eng.reduce_out.unwrap();
-                                self.streams[s as usize].sendq.push_back(acc);
-                            }
-                        }
-                    }
-
-                    // -- Broadcast source (pure broadcast only) --
-                    let eng = &self.engines[ti][v as usize];
-                    if kind == Collective::Broadcast && is_root && eng.delivered < tree.len {
-                        let space = eng.bcast_out.iter().all(|&s| {
-                            self.streams[s as usize].sendq.len() < self.cfg.source_queue
-                        });
-                        if let Some(tr) = tracer.as_mut() {
-                            if space {
-                                tr.relay_fired(v as usize);
-                            } else {
-                                tr.engine_stalled(v as usize, EngineStall::OutputBlocked);
-                            }
-                        }
-                        if space {
-                            let eng = &mut self.engines[ti][v as usize];
-                            let elem = eng.delivered;
-                            let val = w.input(v, tree.offset + elem);
-                            let outs: Vec<u32> = eng.bcast_out.clone();
-                            for s in outs {
-                                self.streams[s as usize].sendq.push_back(val);
-                            }
-                            deliver(eng, &mut deliveries, &mut tree_deliveries);
-                        }
-                    }
-
-                    // -- Broadcast relay (allreduce + broadcast) --
-                    let eng = &self.engines[ti][v as usize];
-                    if kind != Collective::Reduce {
-                        if let Some(bin) = eng.bcast_in {
-                            let input_ready = !self.streams[bin as usize].recvq.is_empty();
-                            let out_ok = eng.bcast_out.iter().all(|&s| {
-                                self.streams[s as usize].sendq.len() < self.cfg.source_queue
-                            });
-                            if eng.delivered < tree.len {
-                                if let Some(tr) = tracer.as_mut() {
-                                    if input_ready && out_ok {
-                                        tr.relay_fired(v as usize);
-                                    } else {
-                                        tr.engine_stalled(
-                                            v as usize,
-                                            if !input_ready {
-                                                EngineStall::InputStarved
-                                            } else {
-                                                EngineStall::OutputBlocked
-                                            },
-                                        );
-                                    }
-                                }
-                            }
-                            if eng.delivered < tree.len && input_ready && out_ok {
-                                let val =
-                                    self.streams[bin as usize].recvq.pop_front().unwrap();
-                                let eng = &mut self.engines[ti][v as usize];
-                                let elem = eng.delivered;
-                                if !w.value_close(val, expected(elem)) {
-                                    mismatches += 1;
-                                }
-                                let outs: Vec<u32> = eng.bcast_out.clone();
-                                for s in outs {
-                                    self.streams[s as usize].sendq.push_back(val);
-                                }
-                                deliver(eng, &mut deliveries, &mut tree_deliveries);
-                            }
-                        }
-                    }
-                }
-            }
-
-            // 3. Transmit: one flit per directed channel per cycle. The
-            // winner — first resident stream in round-robin order with both
-            // data and credit — is found first and the flit moved after, so
-            // the tracer can observe every member without changing
-            // arbitration (with tracing off the scan stops at the winner,
-            // which is the identical decision).
-            for (c, members) in self.emb.channel_streams.iter().enumerate() {
-                if members.is_empty() {
-                    continue;
-                }
-                // A faulted channel transmits nothing this cycle. Full
-                // outages additionally charge a stall to every resident
-                // stream with staged data — the timeout/retry detector.
-                // (Tracer channel/stream hooks are skipped: the channel is
-                // physically dead, not arbitrating.)
-                if let Some(fs) = faults.as_mut() {
-                    if fs.channel_blocked(c, cycle) {
-                        if fs.channel_down(c) {
-                            let streams = &self.streams;
-                            fs.observe_outage(
-                                c,
-                                members,
-                                |s| !streams[s].sendq.is_empty(),
-                                cycle,
-                            );
-                        }
-                        continue;
-                    }
-                }
-                let k = members.len();
-                let start = self.rr[c];
-                let mut winner: Option<(usize, usize)> = None; // (rr offset, stream)
-                if let Some(tr) = tracer.as_mut() {
-                    let mut any_data = false;
-                    for off in 0..k {
-                        let s = members[(start + off) % k] as usize;
-                        let st = &self.streams[s];
-                        let occupancy = st.recvq.len() + st.inflight.len();
-                        let has_data = !st.sendq.is_empty();
-                        let has_credit = occupancy < self.cfg.vc_buffer;
-                        if winner.is_none() && has_data && has_credit {
-                            winner = Some((off, s));
-                        }
-                        any_data |= has_data;
-                        let won = winner.is_some_and(|(_, w)| w == s);
-                        tr.observe_stream(
-                            s,
-                            st.sendq.len() as u64,
-                            (occupancy + won as usize) as u64,
-                            has_data,
-                            has_credit,
-                            won,
-                        );
-                    }
-                    tr.observe_channel(c, winner.is_some(), any_data);
-                } else {
-                    for off in 0..k {
-                        let s = members[(start + off) % k] as usize;
-                        let st = &self.streams[s];
-                        if !st.sendq.is_empty()
-                            && st.recvq.len() + st.inflight.len() < self.cfg.vc_buffer
-                        {
-                            winner = Some((off, s));
-                            break;
-                        }
-                    }
-                }
-                if let Some((off, s)) = winner {
-                    let st = &mut self.streams[s];
-                    let occupancy = st.recvq.len() + st.inflight.len();
-                    let v = st.sendq.pop_front().unwrap();
-                    st.inflight.push_back((cycle + self.cfg.link_latency as u64, v));
-                    self.channel_flits[c] += 1;
-                    self.max_vc_occupancy = self.max_vc_occupancy.max(occupancy + 1);
-                    self.rr[c] = (start + off + 1) % k;
-                    if let Some(fs) = faults.as_mut() {
-                        fs.note_progress(s);
-                    }
-                }
-            }
+            st.step_arrivals(cycle, &faults);
+            st.step_compute(cycle, w, &mut tracer, &faults);
+            st.step_transmit(cycle, traced, &mut tracer, &mut faults);
 
             if let Some(tr) = tracer.as_mut() {
                 if tr.timeline_due(cycle) {
-                    tr.sample_timeline(cycle, deliveries);
+                    tr.sample_timeline(cycle, st.deliveries);
+                }
+            }
+
+            // Time skip: if this cycle made no progress at all, nothing can
+            // change until the next in-flight arrival (or the next fault
+            // activation / heal). Jump there instead of ticking idly.
+            // Tracing pins per-cycle stepping; an actively faulted fabric
+            // (downed or degraded channels) needs per-cycle stall/degrade
+            // accounting, so skipping pauses until it is quiet again.
+            if !st.progress && !traced && st.deliveries < st.total_deliveries {
+                let fault_ok = faults.as_ref().is_none_or(|f| f.skip_safe());
+                if fault_ok {
+                    let mut target = cfg.max_cycles;
+                    if let Some(next) = st.next_arrival() {
+                        target = target.min(next - 1);
+                    }
+                    if let Some(next) = faults.as_ref().and_then(|f| f.next_transition()) {
+                        target = target.min(next - 1);
+                    }
+                    cycle = cycle.max(target.min(cfg.max_cycles));
                 }
             }
         }
 
-        let completed = deliveries == total_deliveries;
-        let max_util = self
+        let completed = st.deliveries == st.total_deliveries;
+        let max_util = st
             .channel_flits
             .iter()
             .map(|&f| f as f64 / cycle.max(1) as f64)
             .fold(0.0, f64::max);
         let fault_report = faults.map(|f| f.finish(completed));
         let mut trace = tracer.map(|mut tr| {
-            tr.sample_timeline(cycle, deliveries); // final sample (timeline runs only)
-            tr.finish(self.emb, cycle)
+            tr.sample_timeline(cycle, st.deliveries); // final sample (timeline runs only)
+            tr.finish(emb, cycle)
         });
         if let (Some(t), Some(fr)) = (trace.as_mut(), fault_report.as_ref()) {
             t.faults = fr.records.clone();
         }
         let report = SimReport {
             cycles: cycle,
-            total_elems: self.emb.total_len,
+            total_elems: emb.total_len,
             completed,
-            mismatches,
-            measured_bandwidth: self.emb.total_len as f64 / cycle.max(1) as f64,
-            tree_completion,
-            first_element_latency,
-            channel_flits: self.channel_flits,
+            mismatches: st.mismatches,
+            measured_bandwidth: emb.total_len as f64 / cycle.max(1) as f64,
+            tree_completion: st.tree_completion,
+            first_element_latency: st.first_element_latency,
+            channel_flits: st.channel_flits,
             max_channel_utilization: max_util,
-            max_vc_occupancy: self.max_vc_occupancy,
+            max_vc_occupancy: st.max_vc_occupancy,
         };
         (report, trace, fault_report)
     }
 }
 
+/// Sentinel for "no stream wired here" in the flat dataflow arrays.
+const NONE: u32 = u32::MAX;
+
+/// All mutable state of one optimized run: flat arenas, active sets, and
+/// the progress counters folded into the final [`SimReport`].
+///
+/// Engines are addressed by *pair* index `p = tree * n + node`; stream
+/// queues live in pre-sized ring-buffer arenas (`sendq` at the sender,
+/// a combined wire/VC ring at the receiver). The steady-state loop
+/// performs no heap allocation.
+struct RunState {
+    cfg: SimConfig,
+    kind: Collective,
+    n: usize,
+    ntrees: usize,
+
+    // Per-tree metadata (flattened from the embedding).
+    tree_root: Vec<u32>,
+    tree_len: Vec<u64>,
+    tree_off: Vec<u64>,
+
+    // Per-pair dataflow wiring: CSR slices into the id arenas.
+    reduce_in_off: Vec<u32>,
+    bcast_out_off: Vec<u32>,
+    in_ids: Vec<u32>,
+    out_ids: Vec<u32>,
+    reduce_out: Vec<u32>,
+    bcast_in: Vec<u32>,
+    reduced: Vec<u64>,
+    delivered: Vec<u64>,
+
+    // Stream queues: sender staging ring + combined wire/VC ring. Rings
+    // are strided at the next power of two so slot arithmetic is a mask
+    // and a shift, never a division; the logical capacity stays the
+    // configured value (enforced by the credit/space comparisons).
+    sq_cap: u32,
+    sq_mask: u32,
+    sq_shift: u32,
+    vc_cap: u32,
+    vc_mask: u32,
+    vc_shift: u32,
+    sendq_val: Vec<u64>,
+    sendq_head: Vec<u32>,
+    sendq_len: Vec<u32>,
+    vc_arr: Vec<u64>,
+    vc_val: Vec<u64>,
+    vc_head: Vec<u32>,
+    vc_arrived: Vec<u32>,
+    vc_inflight: Vec<u32>,
+
+    // Stream -> owning channel (for channel activation on staging).
+    stream_chan: Vec<u32>,
+    // Precomputed wake targets: the absolute `pair_active` word index and
+    // bit mask of each stream's endpoint engines, so a flit event re-arms
+    // an engine with a single indexed OR (no division on the hot path).
+    wake_src_word: Vec<u32>,
+    wake_src_mask: Vec<u64>,
+    wake_dst_word: Vec<u32>,
+    wake_dst_mask: Vec<u64>,
+    // Reduction-input readiness: per-pair count of reduce-input streams
+    // with at least one arrived flit, plus a per-stream back-pointer to
+    // the pair whose count the stream feeds (`NONE` for broadcast
+    // streams). Makes `inputs_ready` O(1) instead of a CSR gather per
+    // engine evaluation.
+    ready_in: Vec<u32>,
+    ready_slot: Vec<u32>,
+
+    // CSR-flattened channel -> member streams map.
+    chan_off: Vec<u32>,
+    chan_members: Vec<u32>,
+    rr: Vec<u32>,
+
+    // Active sets (bitset words).
+    words_per_tree: usize,
+    pair_active: Vec<u64>,
+    chan_active: Vec<u64>,
+    wire_active: Vec<u64>,
+
+    // Lazily refilled per-node budgets (epoch-stamped; see docs).
+    engine_budget: Vec<u32>,
+    engine_epoch: Vec<u64>,
+    inject_budget: Vec<u32>,
+    inject_epoch: Vec<u64>,
+
+    // Progress bookkeeping.
+    per_tree_sinks: u64,
+    total_deliveries: u64,
+    live_pairs: u64,
+    first_done_pairs: u64,
+    first_element_latency: u64,
+    deliveries: u64,
+    mismatches: u64,
+    tree_completion: Vec<u64>,
+    tree_deliveries: Vec<u64>,
+    channel_flits: Vec<u64>,
+    max_vc_occupancy: usize,
+    progress: bool,
+}
+
+impl RunState {
+    fn new(emb: &MultiTreeEmbedding, cfg: SimConfig, kind: Collective) -> Self {
+        let n = emb.num_nodes as usize;
+        let ntrees = emb.trees.len();
+        let pairs = ntrees * n;
+        let nstreams = emb.streams.len();
+        let nchans = emb.channel_streams.len();
+
+        // Wire the per-pair dataflow (two passes: counts, then fill).
+        let mut in_cnt = vec![0u32; pairs];
+        let mut out_cnt = vec![0u32; pairs];
+        let mut reduce_out = vec![NONE; pairs];
+        let mut bcast_in = vec![NONE; pairs];
+        let mut src_pair = vec![0u32; nstreams];
+        let mut dst_pair = vec![0u32; nstreams];
+        for (si, s) in emb.streams.iter().enumerate() {
+            let sp = s.tree as usize * n + s.src as usize;
+            let dp = s.tree as usize * n + s.dst as usize;
+            src_pair[si] = sp as u32;
+            dst_pair[si] = dp as u32;
+            match s.phase {
+                Phase::Reduce => {
+                    in_cnt[dp] += 1;
+                    reduce_out[sp] = si as u32;
+                }
+                Phase::Broadcast => {
+                    out_cnt[sp] += 1;
+                    bcast_in[dp] = si as u32;
+                }
+            }
+        }
+        let mut reduce_in_off = vec![0u32; pairs + 1];
+        let mut bcast_out_off = vec![0u32; pairs + 1];
+        for p in 0..pairs {
+            reduce_in_off[p + 1] = reduce_in_off[p] + in_cnt[p];
+            bcast_out_off[p + 1] = bcast_out_off[p] + out_cnt[p];
+        }
+        let mut in_ids = vec![0u32; reduce_in_off[pairs] as usize];
+        let mut out_ids = vec![0u32; bcast_out_off[pairs] as usize];
+        let mut in_fill = reduce_in_off.clone();
+        let mut out_fill = bcast_out_off.clone();
+        for (si, s) in emb.streams.iter().enumerate() {
+            match s.phase {
+                Phase::Reduce => {
+                    let dp = dst_pair[si] as usize;
+                    in_ids[in_fill[dp] as usize] = si as u32;
+                    in_fill[dp] += 1;
+                }
+                Phase::Broadcast => {
+                    let sp = src_pair[si] as usize;
+                    out_ids[out_fill[sp] as usize] = si as u32;
+                    out_fill[sp] += 1;
+                }
+            }
+        }
+
+        // CSR-flatten the channel -> streams map.
+        let mut chan_off = vec![0u32; nchans + 1];
+        for (c, members) in emb.channel_streams.iter().enumerate() {
+            chan_off[c + 1] = chan_off[c] + members.len() as u32;
+        }
+        let mut chan_members = vec![0u32; chan_off[nchans] as usize];
+        let mut stream_chan = vec![NONE; nstreams];
+        for (c, members) in emb.channel_streams.iter().enumerate() {
+            let base = chan_off[c] as usize;
+            chan_members[base..base + members.len()].copy_from_slice(members);
+            for &s in members {
+                stream_chan[s as usize] = c as u32;
+            }
+        }
+
+        let per_tree_sinks = match kind {
+            Collective::Allreduce | Collective::Broadcast => emb.num_nodes as u64,
+            Collective::Reduce => 1,
+        };
+        let total_deliveries: u64 = emb.trees.iter().map(|t| t.len * per_tree_sinks).sum();
+        let live_pairs: u64 = emb
+            .trees
+            .iter()
+            .map(|t| if t.len > 0 { per_tree_sinks } else { 0 })
+            .sum();
+
+        let words_per_tree = n.div_ceil(64);
+        let sq_shift = (cfg.source_queue as u32).next_power_of_two().trailing_zeros();
+        let vc_shift = (cfg.vc_buffer as u32).next_power_of_two().trailing_zeros();
+
+        // Precompute each stream's wake word/mask and ready-count slot.
+        let mut wake_src_word = vec![0u32; nstreams];
+        let mut wake_src_mask = vec![0u64; nstreams];
+        let mut wake_dst_word = vec![0u32; nstreams];
+        let mut wake_dst_mask = vec![0u64; nstreams];
+        let mut ready_slot = vec![NONE; nstreams];
+        for (si, s) in emb.streams.iter().enumerate() {
+            let base = s.tree as usize * words_per_tree;
+            wake_src_word[si] = (base + s.src as usize / 64) as u32;
+            wake_src_mask[si] = 1u64 << (s.src as usize % 64);
+            wake_dst_word[si] = (base + s.dst as usize / 64) as u32;
+            wake_dst_mask[si] = 1u64 << (s.dst as usize % 64);
+            if matches!(s.phase, Phase::Reduce) {
+                ready_slot[si] = dst_pair[si];
+            }
+        }
+
+        // Every engine of a non-empty tree starts active: leaves can fire
+        // on cycle 1, everything else stalls once and deactivates.
+        let mut pair_active = vec![0u64; ntrees * words_per_tree];
+        for (ti, t) in emb.trees.iter().enumerate() {
+            if t.len == 0 {
+                continue;
+            }
+            let base = ti * words_per_tree;
+            for wi in 0..words_per_tree {
+                let lo = wi * 64;
+                let bits = (n - lo).min(64);
+                pair_active[base + wi] = if bits == 64 { !0u64 } else { (1u64 << bits) - 1 };
+            }
+        }
+
+        RunState {
+            cfg,
+            kind,
+            n,
+            ntrees,
+            tree_root: emb.trees.iter().map(|t| t.root).collect(),
+            tree_len: emb.trees.iter().map(|t| t.len).collect(),
+            tree_off: emb.trees.iter().map(|t| t.offset).collect(),
+            reduce_in_off,
+            bcast_out_off,
+            in_ids,
+            out_ids,
+            reduce_out,
+            bcast_in,
+            reduced: vec![0; pairs],
+            delivered: vec![0; pairs],
+            sq_cap: cfg.source_queue as u32,
+            sq_mask: (1u32 << sq_shift) - 1,
+            sq_shift,
+            vc_cap: cfg.vc_buffer as u32,
+            vc_mask: (1u32 << vc_shift) - 1,
+            vc_shift,
+            sendq_val: vec![0; nstreams << sq_shift],
+            sendq_head: vec![0; nstreams],
+            sendq_len: vec![0; nstreams],
+            vc_arr: vec![0; nstreams << vc_shift],
+            vc_val: vec![0; nstreams << vc_shift],
+            vc_head: vec![0; nstreams],
+            vc_arrived: vec![0; nstreams],
+            vc_inflight: vec![0; nstreams],
+            stream_chan,
+            wake_src_word,
+            wake_src_mask,
+            wake_dst_word,
+            wake_dst_mask,
+            ready_in: vec![0; pairs],
+            ready_slot,
+            chan_off,
+            chan_members,
+            rr: vec![0; nchans],
+            words_per_tree,
+            pair_active,
+            chan_active: vec![0u64; nchans.div_ceil(64)],
+            wire_active: vec![0u64; nstreams.div_ceil(64)],
+            engine_budget: vec![0; n],
+            engine_epoch: vec![0; n],
+            inject_budget: vec![0; n],
+            inject_epoch: vec![0; n],
+            per_tree_sinks,
+            total_deliveries,
+            live_pairs,
+            first_done_pairs: 0,
+            first_element_latency: 0,
+            deliveries: 0,
+            mismatches: 0,
+            tree_completion: vec![0; ntrees],
+            tree_deliveries: vec![0; ntrees],
+            channel_flits: vec![0; nchans],
+            max_vc_occupancy: 0,
+            progress: false,
+        }
+    }
+
+    // -- queue primitives ---------------------------------------------------
+
+    #[inline]
+    fn sendq_push(&mut self, s: usize, v: u64) {
+        let slot = (self.sendq_head[s] + self.sendq_len[s]) & self.sq_mask;
+        self.sendq_val[(s << self.sq_shift) + slot as usize] = v;
+        self.sendq_len[s] += 1;
+        let c = self.stream_chan[s] as usize;
+        self.chan_active[c / 64] |= 1u64 << (c % 64);
+    }
+
+    #[inline]
+    fn sendq_pop(&mut self, s: usize) -> u64 {
+        let head = self.sendq_head[s];
+        let v = self.sendq_val[(s << self.sq_shift) + head as usize];
+        self.sendq_head[s] = (head + 1) & self.sq_mask;
+        self.sendq_len[s] -= 1;
+        v
+    }
+
+    #[inline]
+    fn recvq_pop(&mut self, s: usize) -> u64 {
+        let head = self.vc_head[s];
+        let v = self.vc_val[(s << self.vc_shift) + head as usize];
+        self.vc_head[s] = (head + 1) & self.vc_mask;
+        self.vc_arrived[s] -= 1;
+        if self.vc_arrived[s] == 0 {
+            let slot = self.ready_slot[s];
+            if slot != NONE {
+                self.ready_in[slot as usize] -= 1;
+            }
+        }
+        v
+    }
+
+    #[inline]
+    fn wire_push(&mut self, s: usize, arrival: u64, v: u64) {
+        let slot = (self.vc_head[s] + self.vc_arrived[s] + self.vc_inflight[s]) & self.vc_mask;
+        let base = s << self.vc_shift;
+        self.vc_arr[base + slot as usize] = arrival;
+        self.vc_val[base + slot as usize] = v;
+        self.vc_inflight[s] += 1;
+        self.wire_active[s / 64] |= 1u64 << (s % 64);
+    }
+
+    #[inline]
+    fn occupancy(&self, s: usize) -> u32 {
+        self.vc_arrived[s] + self.vc_inflight[s]
+    }
+
+    // -- cycle sub-steps ----------------------------------------------------
+
+    /// Step 1: deliver in-flight flits whose latency elapsed. Flits on a
+    /// dead channel are stuck on the wire: they arrive only after the
+    /// fault heals (transient outages delay, they never drop data).
+    fn step_arrivals(&mut self, cycle: u64, faults: &Option<FaultState>) {
+        for wi in 0..self.wire_active.len() {
+            let mut word = self.wire_active[wi];
+            if word == 0 {
+                continue;
+            }
+            let mut keep = word;
+            while word != 0 {
+                let s = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                if faults.as_ref().is_some_and(|f| f.arrivals_frozen(s)) {
+                    continue;
+                }
+                let base = s << self.vc_shift;
+                let was_empty = self.vc_arrived[s] == 0;
+                let mut advanced = false;
+                while self.vc_inflight[s] > 0 {
+                    let idx = ((self.vc_head[s] + self.vc_arrived[s]) & self.vc_mask) as usize;
+                    if self.vc_arr[base + idx] > cycle {
+                        break;
+                    }
+                    self.vc_arrived[s] += 1;
+                    self.vc_inflight[s] -= 1;
+                    advanced = true;
+                }
+                if advanced {
+                    self.progress = true;
+                    self.pair_active[self.wake_dst_word[s] as usize] |= self.wake_dst_mask[s];
+                    if was_empty {
+                        let slot = self.ready_slot[s];
+                        if slot != NONE {
+                            self.ready_in[slot as usize] += 1;
+                        }
+                    }
+                }
+                if self.vc_inflight[s] == 0 {
+                    keep &= !(1u64 << (s % 64));
+                }
+            }
+            self.wire_active[wi] = keep;
+        }
+    }
+
+    /// Step 2: advance reduction engines and broadcast relays. Trees are
+    /// visited in an order rotated per cycle so shared per-node budgets
+    /// (engine/injection caps) are served max-min fairly instead of
+    /// starving high-index trees; within a tree, nodes ascend.
+    fn step_compute(
+        &mut self,
+        cycle: u64,
+        w: &Workload,
+        tracer: &mut Option<Tracer>,
+        faults: &Option<FaultState>,
+    ) {
+        let ntrees = self.ntrees;
+        for ti in (0..ntrees).map(|i| (i + cycle as usize) % ntrees.max(1)) {
+            if self.tree_len[ti] == 0 {
+                continue;
+            }
+            if tracer.is_some() {
+                // Tracing pins full scans: every engine with work remaining
+                // is observed every cycle, exactly like the reference
+                // stepper, so stall attribution is identical.
+                for v in 0..self.n {
+                    self.process_pair(ti, v, cycle, w, tracer, faults);
+                }
+            } else {
+                let base = ti * self.words_per_tree;
+                for wi in 0..self.words_per_tree {
+                    let mut word = self.pair_active[base + wi];
+                    if word == 0 {
+                        continue;
+                    }
+                    self.pair_active[base + wi] = 0;
+                    // Rearms accumulate in a register; nothing else writes
+                    // this word while its members are being evaluated
+                    // (wakes only happen in the arrival/transmit steps).
+                    let mut rearmed = 0u64;
+                    while word != 0 {
+                        let v = wi * 64 + word.trailing_zeros() as usize;
+                        let bit = word & word.wrapping_neg();
+                        word &= word - 1;
+                        if self.process_pair(ti, v, cycle, w, tracer, faults) {
+                            rearmed |= bit;
+                        }
+                    }
+                    self.pair_active[base + wi] |= rearmed;
+                }
+            }
+        }
+    }
+
+    /// Evaluates one (tree, node) engine exactly as the reference stepper
+    /// does. Returns `true` when the pair must be re-examined next cycle
+    /// even without an external wake (it fired, or it stalled on a per-node
+    /// budget that refills next cycle).
+    fn process_pair(
+        &mut self,
+        ti: usize,
+        v: usize,
+        cycle: u64,
+        w: &Workload,
+        tracer: &mut Option<Tracer>,
+        faults: &Option<FaultState>,
+    ) -> bool {
+        // A dead router's engines and relays are halted.
+        if faults.as_ref().is_some_and(|f| f.router_is_down(v)) {
+            return false;
+        }
+        let p = ti * self.n + v;
+        let len = self.tree_len[ti];
+        let offset = self.tree_off[ti];
+        let root = self.tree_root[ti] as usize;
+        let is_root = root == v;
+        let kind = self.kind;
+        let mut rearm = false;
+
+        // -- Reduction engine (allreduce / reduce) --
+        if kind != Collective::Broadcast && self.reduced[p] < len {
+            let engine_free = match self.cfg.max_reductions_per_router {
+                None => true,
+                Some(cap) => {
+                    if self.engine_epoch[v] != cycle {
+                        self.engine_epoch[v] = cycle;
+                        self.engine_budget[v] = cap;
+                    }
+                    self.engine_budget[v] > 0
+                }
+            };
+            let inject_free = match self.cfg.max_injections_per_node {
+                None => true,
+                Some(cap) => {
+                    if self.inject_epoch[v] != cycle {
+                        self.inject_epoch[v] = cycle;
+                        self.inject_budget[v] = cap;
+                    }
+                    self.inject_budget[v] > 0
+                }
+            };
+            let in_lo = self.reduce_in_off[p] as usize;
+            let in_hi = self.reduce_in_off[p + 1] as usize;
+            let inputs_ready = self.ready_in[p] as usize == in_hi - in_lo;
+            let out_ok = match self.reduce_out[p] {
+                NONE => true,
+                s => self.sendq_len[s as usize] < self.sq_cap,
+            };
+            let out_lo = self.bcast_out_off[p] as usize;
+            let out_hi = self.bcast_out_off[p + 1] as usize;
+            // An allreduce root turns the result straight into the
+            // broadcast, so it needs space on every down stream.
+            let bcast_ok = !(is_root && kind == Collective::Allreduce)
+                || (out_lo..out_hi)
+                    .all(|i| self.sendq_len[self.out_ids[i] as usize] < self.sq_cap);
+            let fires = engine_free && inject_free && inputs_ready && out_ok && bcast_ok;
+            if let Some(tr) = tracer.as_mut() {
+                if !fires {
+                    // Attribute the stall: missing inputs first (most
+                    // fundamental), then budget, then a blocked output path.
+                    let why = if !inputs_ready {
+                        EngineStall::InputStarved
+                    } else if !engine_free || !inject_free {
+                        EngineStall::Budget
+                    } else {
+                        EngineStall::OutputBlocked
+                    };
+                    tr.engine_stalled(v, why);
+                } else {
+                    tr.reduction_fired(v);
+                }
+            }
+            if fires {
+                if self.cfg.max_reductions_per_router.is_some() {
+                    self.engine_budget[v] -= 1;
+                }
+                if self.cfg.max_injections_per_node.is_some() {
+                    self.inject_budget[v] -= 1;
+                }
+                let elem = self.reduced[p];
+                self.reduced[p] += 1;
+                let mut acc = w.input(v as u32, offset + elem);
+                for i in in_lo..in_hi {
+                    let s = self.in_ids[i] as usize;
+                    let x = self.recvq_pop(s);
+                    acc = w.combine(acc, x);
+                }
+                if is_root {
+                    if !w.value_close(acc, w.expected(offset + elem)) {
+                        self.mismatches += 1;
+                    }
+                    if kind == Collective::Allreduce {
+                        for i in out_lo..out_hi {
+                            let s = self.out_ids[i] as usize;
+                            self.sendq_push(s, acc);
+                        }
+                    }
+                    self.deliver(ti, p, cycle);
+                } else {
+                    let s = self.reduce_out[p] as usize;
+                    self.sendq_push(s, acc);
+                }
+                self.progress = true;
+                rearm = true;
+            } else if !engine_free || !inject_free {
+                // Budgets refill next cycle without any queue event.
+                rearm = true;
+            }
+        }
+
+        // -- Broadcast source (pure broadcast only) --
+        if kind == Collective::Broadcast && is_root && self.delivered[p] < len {
+            let out_lo = self.bcast_out_off[p] as usize;
+            let out_hi = self.bcast_out_off[p + 1] as usize;
+            let space = (out_lo..out_hi)
+                .all(|i| self.sendq_len[self.out_ids[i] as usize] < self.sq_cap);
+            if let Some(tr) = tracer.as_mut() {
+                if space {
+                    tr.relay_fired(v);
+                } else {
+                    tr.engine_stalled(v, EngineStall::OutputBlocked);
+                }
+            }
+            if space {
+                let elem = self.delivered[p];
+                let val = w.input(v as u32, offset + elem);
+                for i in out_lo..out_hi {
+                    let s = self.out_ids[i] as usize;
+                    self.sendq_push(s, val);
+                }
+                self.deliver(ti, p, cycle);
+                self.progress = true;
+                rearm = true;
+            }
+        }
+
+        // -- Broadcast relay (allreduce + broadcast) --
+        if kind != Collective::Reduce {
+            let bin = self.bcast_in[p];
+            if bin != NONE {
+                let bin = bin as usize;
+                let input_ready = self.vc_arrived[bin] > 0;
+                let out_lo = self.bcast_out_off[p] as usize;
+                let out_hi = self.bcast_out_off[p + 1] as usize;
+                let out_ok = (out_lo..out_hi)
+                    .all(|i| self.sendq_len[self.out_ids[i] as usize] < self.sq_cap);
+                if self.delivered[p] < len {
+                    if let Some(tr) = tracer.as_mut() {
+                        if input_ready && out_ok {
+                            tr.relay_fired(v);
+                        } else {
+                            tr.engine_stalled(
+                                v,
+                                if !input_ready {
+                                    EngineStall::InputStarved
+                                } else {
+                                    EngineStall::OutputBlocked
+                                },
+                            );
+                        }
+                    }
+                }
+                if self.delivered[p] < len && input_ready && out_ok {
+                    let val = self.recvq_pop(bin);
+                    let elem = self.delivered[p];
+                    let expected = match kind {
+                        Collective::Broadcast => w.input(root as u32, offset + elem),
+                        _ => w.expected(offset + elem),
+                    };
+                    if !w.value_close(val, expected) {
+                        self.mismatches += 1;
+                    }
+                    for i in out_lo..out_hi {
+                        let s = self.out_ids[i] as usize;
+                        self.sendq_push(s, val);
+                    }
+                    self.deliver(ti, p, cycle);
+                    self.progress = true;
+                    rearm = true;
+                }
+            }
+        }
+
+        rearm
+    }
+
+    /// Records one element delivered at pair `p` of tree `ti`.
+    #[inline]
+    fn deliver(&mut self, ti: usize, p: usize, cycle: u64) {
+        self.delivered[p] += 1;
+        if self.delivered[p] == 1 {
+            self.first_done_pairs += 1;
+            if self.first_done_pairs == self.live_pairs {
+                self.first_element_latency = cycle;
+            }
+        }
+        self.deliveries += 1;
+        self.tree_deliveries[ti] += 1;
+        if self.tree_deliveries[ti] == self.tree_len[ti] * self.per_tree_sinks {
+            self.tree_completion[ti] = cycle;
+        }
+    }
+
+    /// Step 3: one flit per directed channel per cycle. The winner — first
+    /// resident stream in round-robin order with both data and downstream
+    /// credit — is found first and the flit moved after, so the tracer can
+    /// observe every member without changing arbitration (with tracing off
+    /// the scan stops at the winner, which is the identical decision).
+    fn step_transmit(
+        &mut self,
+        cycle: u64,
+        traced: bool,
+        tracer: &mut Option<Tracer>,
+        faults: &mut Option<FaultState>,
+    ) {
+        if traced {
+            for c in 0..self.rr.len() {
+                self.process_channel(c, cycle, tracer, faults);
+            }
+        } else {
+            for wi in 0..self.chan_active.len() {
+                let mut word = self.chan_active[wi];
+                if word == 0 {
+                    continue;
+                }
+                let mut keep = word;
+                while word != 0 {
+                    let c = wi * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    if !self.process_channel(c, cycle, tracer, faults) {
+                        keep &= !(1u64 << (c % 64));
+                    }
+                }
+                self.chan_active[wi] = keep;
+            }
+        }
+    }
+
+    /// Arbitrates one channel. Returns `true` while the channel must stay
+    /// in the active set (a resident stream still has staged data, or a
+    /// fault is holding the channel and its state cannot be inspected).
+    fn process_channel(
+        &mut self,
+        c: usize,
+        cycle: u64,
+        tracer: &mut Option<Tracer>,
+        faults: &mut Option<FaultState>,
+    ) -> bool {
+        let lo = self.chan_off[c] as usize;
+        let hi = self.chan_off[c + 1] as usize;
+        let k = hi - lo;
+        if k == 0 {
+            return false;
+        }
+        // A faulted channel transmits nothing this cycle. Full outages
+        // additionally charge a stall to every resident stream with staged
+        // data — the timeout/retry detector. (Tracer channel/stream hooks
+        // are skipped: the channel is physically dead, not arbitrating.)
+        if let Some(fs) = faults.as_mut() {
+            if fs.channel_blocked(c, cycle) {
+                if fs.channel_down(c) {
+                    let members = &self.chan_members[lo..hi];
+                    let sendq_len = &self.sendq_len;
+                    fs.observe_outage(c, members, |s| sendq_len[s] > 0, cycle);
+                }
+                return true;
+            }
+        }
+        let start = self.rr[c] as usize;
+        let mut winner: Option<(usize, usize)> = None; // (member offset, stream)
+        let mut any_data = false;
+        if let Some(tr) = tracer.as_mut() {
+            let mut idx = start;
+            for _ in 0..k {
+                let s = self.chan_members[lo + idx] as usize;
+                let occupancy = self.occupancy(s) as usize;
+                let has_data = self.sendq_len[s] > 0;
+                let has_credit = occupancy < self.cfg.vc_buffer;
+                if winner.is_none() && has_data && has_credit {
+                    winner = Some((idx, s));
+                }
+                any_data |= has_data;
+                let won = winner.is_some_and(|(_, w)| w == s);
+                tr.observe_stream(
+                    s,
+                    self.sendq_len[s] as u64,
+                    (occupancy + won as usize) as u64,
+                    has_data,
+                    has_credit,
+                    won,
+                );
+                idx += 1;
+                if idx == k {
+                    idx = 0;
+                }
+            }
+            tr.observe_channel(c, winner.is_some(), any_data);
+        } else {
+            let mut idx = start;
+            for _ in 0..k {
+                let s = self.chan_members[lo + idx] as usize;
+                let has_data = self.sendq_len[s] > 0;
+                any_data |= has_data;
+                if has_data && self.occupancy(s) < self.vc_cap {
+                    winner = Some((idx, s));
+                    break;
+                }
+                idx += 1;
+                if idx == k {
+                    idx = 0;
+                }
+            }
+        }
+        if let Some((idx, s)) = winner {
+            let occupancy = self.occupancy(s) as usize;
+            let v = self.sendq_pop(s);
+            self.wire_push(s, cycle + self.cfg.link_latency as u64, v);
+            self.channel_flits[c] += 1;
+            self.max_vc_occupancy = self.max_vc_occupancy.max(occupancy + 1);
+            self.rr[c] = (if idx + 1 == k { 0 } else { idx + 1 }) as u32;
+            if let Some(fs) = faults.as_mut() {
+                fs.note_progress(s);
+            }
+            self.pair_active[self.wake_src_word[s] as usize] |= self.wake_src_mask[s];
+            self.progress = true;
+            // The popped stream may still hold data, and arbitration losers
+            // keep theirs: stay active, re-check next cycle.
+            return true;
+        }
+        any_data
+    }
+
+    /// Earliest in-flight arrival cycle across all streams, if any.
+    fn next_arrival(&self) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        for wi in 0..self.wire_active.len() {
+            let mut word = self.wire_active[wi];
+            while word != 0 {
+                let s = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                if self.vc_inflight[s] == 0 {
+                    continue;
+                }
+                let idx = ((self.vc_head[s] + self.vc_arrived[s]) & self.vc_mask) as usize;
+                let arr = self.vc_arr[(s << self.vc_shift) + idx];
+                next = Some(next.map_or(arr, |n| n.min(arr)));
+            }
+        }
+        next
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -232,6 +232,9 @@ pub(crate) struct FaultState {
     degrade: Vec<u32>,
     router_down: Vec<bool>,
     link_down: Vec<u32>,
+    /// Activated-but-not-healed events — nonzero means per-cycle stepping
+    /// is required (see [`FaultState::skip_safe`]).
+    active_faults: u32,
     // Detection state.
     stalled: Vec<u64>,
     retries: Vec<u32>,
@@ -295,6 +298,7 @@ impl FaultState {
             degrade: vec![0; num_channels],
             router_down: vec![false; g.num_vertices() as usize],
             link_down: vec![0; g.num_edges() as usize],
+            active_faults: 0,
             stalled: vec![0; emb.streams.len()],
             retries: vec![0; emb.streams.len()],
             stream_dead: vec![false; emb.streams.len()],
@@ -310,6 +314,11 @@ impl FaultState {
 
     fn apply(&mut self, idx: usize, activate: bool) {
         let ev = self.events[idx];
+        if activate {
+            self.active_faults += 1;
+        } else {
+            self.active_faults -= 1;
+        }
         match (ev.target, ev.kind) {
             (FaultTarget::Link(e), FaultKind::Down) => {
                 for c in [2 * e as usize, 2 * e as usize + 1] {
@@ -491,6 +500,30 @@ impl FaultState {
     #[inline]
     pub(crate) fn should_abort(&self) -> bool {
         self.abort
+    }
+
+    /// True while idle cycles may be skipped as far as the fault layer is
+    /// concerned: no fault is currently active. Downed channels need
+    /// per-cycle stall/retry accounting and degraded channels gate
+    /// transmission on the cycle number, so any active fault pins the
+    /// engine to per-cycle stepping until it heals.
+    #[inline]
+    pub(crate) fn skip_safe(&self) -> bool {
+        self.active_faults == 0
+    }
+
+    /// The next cycle at which the fault layer changes state — the
+    /// earliest pending activation or heal. A skipping engine must not
+    /// jump past it: [`FaultState::begin_cycle`] stamps its records with
+    /// the cycle it runs in, and activations change channel behavior.
+    #[inline]
+    pub(crate) fn next_transition(&self) -> Option<u64> {
+        let activation = self.events.get(self.next_event).map(|e| e.cycle);
+        let heal = self.heals.first().map(|&(at, _)| at);
+        match (activation, heal) {
+            (Some(a), Some(h)) => Some(a.min(h)),
+            (a, h) => a.or(h),
+        }
     }
 
     /// Folds the state into the exported report.

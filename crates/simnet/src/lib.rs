@@ -36,6 +36,8 @@
 //! `pf_allreduce::recovery` rebuild loop so the collective completes on
 //! the surviving fabric with quantified bandwidth loss (`docs/FAULTS.md`).
 
+#[cfg(test)]
+mod difftest;
 pub mod embedding;
 pub mod engine;
 pub mod faults;
