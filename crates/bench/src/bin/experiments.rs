@@ -20,6 +20,7 @@
 //!   sim-buffers     ablation: VC buffer depth vs throughput
 //!   sim-faults      fault injection: bandwidth vs failed links (recovery)
 //!   perf-snapshot   engine throughput vs the reference stepper -> JSON
+//!   sched-sweep     multi-tenant offered-load sweep -> BENCH_sched.json
 //!   all             everything above
 //! ```
 
@@ -95,6 +96,20 @@ fn main() {
                 std::path::Path::new(out),
             );
         }
+        "sched-sweep" => {
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("BENCH_sched.json");
+            pf_bench::sched_sweep::print_sched_sweep(
+                opt_u64("--q", 11.min(max_q).max(3) | 1),
+                opt_u64("--jobs", 60) as u32,
+                opt_u64("--seed", 2026),
+                std::path::Path::new(out),
+            );
+        }
         "evenq-search" => sims::print_evenq_search(opt_u64("--attempts", 500) as usize),
         "torus-compare" => sims::print_torus_compare(opt_u64("--m", 200_000)),
         "starters" => sims::print_starters(opt_u64("--q", 11)),
@@ -130,7 +145,10 @@ fn main() {
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!("known: table1 fig1 fig2 table2 fig4 fig5a fig5b disjoint-sweep totient");
-            eprintln!("       sim-bandwidth sim-crossover sim-split sim-buffers perf-snapshot all");
+            eprintln!(
+                "       sim-bandwidth sim-crossover sim-split sim-buffers perf-snapshot \
+                 sched-sweep all"
+            );
             std::process::exit(2);
         }
     };
@@ -159,6 +177,7 @@ fn main() {
             "vc-report",
             "sim-injection",
             "sim-faults",
+            "sched-sweep",
             "evenq-search",
             "torus-compare",
             "starters",

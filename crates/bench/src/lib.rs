@@ -10,6 +10,7 @@ pub mod faults;
 pub mod figures;
 pub mod par;
 pub mod perf_snapshot;
+pub mod sched_sweep;
 pub mod sims;
 pub mod sweeps;
 pub mod tables;

@@ -10,7 +10,7 @@
 //! and CI uploads each run's copy as an artifact (see
 //! `docs/PERFORMANCE.md` for the schema).
 //!
-//! Each radix is measured in the simulator's three operating regimes,
+//! Each radix is measured in the simulator's four operating regimes,
 //! because they stress opposite ends of the engine:
 //!
 //! * **latency** — short vector over long links (the Figure 5b / SIM2
@@ -28,8 +28,14 @@
 //!   fault layer pins per-cycle stepping, but the active sets drain, so
 //!   each frozen cycle costs the optimized engine a few bitset words
 //!   instead of a full engine/channel/stream scan.
+//! * **contention** — two tenants share the fabric on disjoint halves of
+//!   the tree set (the `sched-sweep` regime), exercising the multi-job
+//!   accounting path (`Simulator::run_jobs`). The reference stepper has
+//!   no job support, so it runs the identical embedding as one plain
+//!   collective; with both tenants released at cycle 0 the engine
+//!   decisions coincide and simulated cycles must agree exactly.
 //!
-//! The per-q summary reports the geometric mean across the three
+//! The per-q summary reports the geometric mean across the four
 //! regimes — the standard cross-workload aggregate.
 //!
 //! Allocation counts come from [`CountingAllocator`], which the
@@ -198,6 +204,79 @@ fn measure_point(
     PerfPoint { label, regime, q, m, engines: vec![optimized, reference], speedup }
 }
 
+/// Measures the two-tenant contention regime: the plan's trees split in
+/// half between two concurrent jobs of `m / 2` elements each, executed
+/// through [`Simulator::run_jobs`] (optimized) and as one plain
+/// collective on the identical embedding (reference).
+fn measure_contention(q: u64, plan: &AllreducePlan, m: u64, cfg: SimConfig) -> PerfPoint {
+    use pf_simnet::{JobBinding, JobSegment, ReduceKind};
+
+    let half = (plan.trees.len() / 2).max(1);
+    let idx_a: Vec<usize> = (0..half).collect();
+    let idx_b: Vec<usize> = (half..plan.trees.len()).collect();
+    let sub_a = plan.tree_subset(&idx_a);
+    let sub_b = plan.tree_subset(&idx_b);
+    let (m_a, m_b) = (m / 2, m - m / 2);
+    let (split_a, split_b) = (sub_a.split(m_a), sub_b.split(m_b));
+
+    let mut trees = sub_a.trees.clone();
+    trees.extend(sub_b.trees.iter().cloned());
+    let mut sizes = split_a.clone();
+    sizes.extend_from_slice(&split_b);
+    let mut offsets = Vec::with_capacity(sizes.len());
+    let mut off = 0u64;
+    for &len in &split_a {
+        offsets.push(off);
+        off += len;
+    }
+    let mut off = m_a;
+    for &len in &split_b {
+        offsets.push(off);
+        off += len;
+    }
+    let emb = MultiTreeEmbedding::with_offsets(&plan.graph, &trees, &sizes, &offsets);
+    let w = Workload::concat(
+        plan.graph.num_vertices(),
+        &[
+            JobSegment::full(m_a, ReduceKind::WrappingU64),
+            JobSegment::full(m_b, ReduceKind::WrappingU64),
+        ],
+    );
+    let bindings = [
+        JobBinding { trees: 0..half, release: 0 },
+        JobBinding { trees: half..trees.len(), release: 0 },
+    ];
+    let runs = 3;
+    let optimized = measure("optimized", runs, || {
+        let run = Simulator::new(&plan.graph, &emb, cfg).run_jobs(&w, &bindings);
+        assert!(
+            run.report.completed && run.report.mismatches == 0,
+            "contention q={q}: run must complete cleanly"
+        );
+        assert!(run.jobs.iter().all(|j| j.mismatches == 0));
+        run.report.cycles
+    });
+    let reference = measure("reference", runs, || {
+        let (r, _, _) = Simulator::new(&plan.graph, &emb, cfg)
+            .run_reference(&w, Collective::Allreduce);
+        assert!(r.completed && r.mismatches == 0);
+        r.cycles
+    });
+    assert_eq!(
+        optimized.cycles, reference.cycles,
+        "contention q={q}: job accounting must not change engine decisions"
+    );
+    let speedup = optimized.cycles_per_sec / reference.cycles_per_sec.max(1e-12);
+    PerfPoint {
+        label: "low_depth",
+        regime: "contention",
+        q,
+        m,
+        engines: vec![optimized, reference],
+        speedup,
+    }
+}
+
 /// First edge the plan actually routes flits over — the outage target for
 /// the fault-retention regime.
 fn used_edge(plan: &AllreducePlan) -> u32 {
@@ -240,6 +319,7 @@ pub fn collect(qs: &[u64], m: u64) -> Vec<PerfPoint> {
             SimConfig::default(),
             Some(&outage),
         ));
+        points.push(measure_contention(q, &plan, m, SimConfig::default()));
     }
     if let Some(&q) = qs.last() {
         if let Ok(plan) = AllreducePlan::edge_disjoint(q, 30, 1) {
@@ -343,7 +423,7 @@ mod tests {
     #[test]
     fn snapshot_points_are_consistent() {
         let points = collect(&[3], 400);
-        assert_eq!(points.len(), 4, "3 low_depth regimes + edge_disjoint");
+        assert_eq!(points.len(), 5, "4 low_depth regimes + edge_disjoint");
         for p in &points {
             assert_eq!(p.engines.len(), 2);
             assert_eq!(p.engines[0].engine, "optimized");
@@ -352,7 +432,10 @@ mod tests {
             assert!(p.speedup > 0.0);
         }
         let regimes: Vec<&str> = points.iter().map(|p| p.regime).collect();
-        assert_eq!(regimes, ["latency", "saturated", "fault_retention", "saturated"]);
+        assert_eq!(
+            regimes,
+            ["latency", "saturated", "fault_retention", "contention", "saturated"]
+        );
         let summary = summarize(&points);
         assert_eq!(summary.len(), 1);
         assert_eq!(summary[0].q, 3);

@@ -114,6 +114,31 @@ impl AllreducePlan {
         self.q * self.q + self.q + 1
     }
 
+    /// A plan over a subset of this plan's trees (by strictly increasing
+    /// tree index), on the same graph — the tree allocator's per-tenant
+    /// view of the fabric. Bandwidths and per-edge congestion are
+    /// recomputed from scratch over the subset, so `split` and
+    /// `predicted_*` answer for the tenant's trees alone; a subset can
+    /// only lower per-edge congestion, never raise it (each tree
+    /// contributes its edges exactly once), which is what keeps any
+    /// disjoint partition of one healthy plan under the full plan's
+    /// Theorem 7.6/7.19 congestion bound.
+    ///
+    /// Panics if `indices` is empty, out of range, or not strictly
+    /// increasing.
+    pub fn tree_subset(&self, indices: &[usize]) -> AllreducePlan {
+        assert!(!indices.is_empty(), "a tree subset needs at least one tree");
+        for pair in indices.windows(2) {
+            assert!(pair[0] < pair[1], "tree indices must be strictly increasing");
+        }
+        assert!(
+            *indices.last().unwrap() < self.trees.len(),
+            "tree index out of range"
+        );
+        let trees = indices.iter().map(|&i| self.trees[i].clone()).collect();
+        Self::from_parts(self.q, self.solution, self.graph.clone(), trees)
+    }
+
     /// Corollary 7.1 optimum for this radix (unit link bandwidth).
     pub fn optimal_bandwidth(&self) -> Rational {
         perf::optimal_bandwidth(self.q, Rational::ONE)
@@ -289,6 +314,55 @@ mod tests {
         // Even q: always edge-disjoint.
         let even = AllreducePlan::recommend(8, 8, hop).unwrap();
         assert_eq!(even.solution, Solution::EdgeDisjoint);
+    }
+
+    #[test]
+    fn tree_subset_recomputes_congestion() {
+        let full = AllreducePlan::low_depth(7).unwrap();
+        let sub = full.tree_subset(&[0, 2, 4]);
+        assert_eq!(sub.trees.len(), 3);
+        assert_eq!(sub.q, full.q);
+        // A subset can only lower per-edge congestion.
+        for (s, f) in sub.edge_congestion.iter().zip(&full.edge_congestion) {
+            assert!(s <= f);
+        }
+        assert!(sub.max_congestion <= full.max_congestion);
+        // Its split covers the subset's trees only.
+        let sizes = sub.split(999);
+        assert_eq!(sizes.len(), 3);
+        assert_eq!(sizes.iter().sum::<u64>(), 999);
+    }
+
+    #[test]
+    fn disjoint_tree_subsets_partition_congestion() {
+        // Two disjoint subsets of one plan: their per-edge congestion
+        // vectors sum to the full plan's (each tree counted exactly once),
+        // so concurrent tenants on disjoint subsets stay under the healthy
+        // bound by construction.
+        let full = AllreducePlan::low_depth(7).unwrap();
+        let a = full.tree_subset(&[0, 1, 2, 3]);
+        let b = full.tree_subset(&[4, 5, 6]);
+        for e in 0..full.edge_congestion.len() {
+            assert_eq!(
+                a.edge_congestion[e] + b.edge_congestion[e],
+                full.edge_congestion[e],
+                "edge {e}"
+            );
+        }
+        // Edge-disjoint plans: tenant subsets share no physical links.
+        let ham = AllreducePlan::edge_disjoint(7, 30, 9).unwrap();
+        let ha = ham.tree_subset(&[0, 1]);
+        let hb = ham.tree_subset(&[2, 3]);
+        for e in 0..ham.edge_congestion.len() {
+            assert!(ha.edge_congestion[e] == 0 || hb.edge_congestion[e] == 0, "edge {e}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn tree_subset_rejects_duplicates() {
+        let full = AllreducePlan::single_tree(3).unwrap();
+        let _ = full.tree_subset(&[0, 0]);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Job descriptions and per-job scheduling records.
+
+use pf_simnet::ReduceKind;
+
+/// One allreduce job submitted to the scheduler.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Caller-chosen id, unique within one scheduler run.
+    pub id: u32,
+    /// Cycle the job enters the arrival queue.
+    pub arrival: u64,
+    /// Vector length to reduce (> 0).
+    pub elems: u64,
+    /// Reduction operator.
+    pub kind: ReduceKind,
+    /// Admission priority (higher = more urgent; used by
+    /// [`crate::Policy::Priority`]).
+    pub priority: u32,
+    /// Participating nodes (`None` = the full fabric). Non-participants
+    /// still relay — spanning trees span — but contribute the operator's
+    /// identity and are excluded from the expected reduction.
+    pub participants: Option<Vec<u32>>,
+}
+
+impl JobSpec {
+    /// A full-fabric wrapping-`u64` job — the common case.
+    #[must_use]
+    pub fn new(id: u32, arrival: u64, elems: u64) -> Self {
+        JobSpec {
+            id,
+            arrival,
+            elems,
+            kind: ReduceKind::WrappingU64,
+            priority: 0,
+            participants: None,
+        }
+    }
+}
+
+/// What happened to one job, filled in by [`crate::Scheduler::run`].
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The job as submitted.
+    pub spec: JobSpec,
+    /// Cycle the admission controller put the job into a wave.
+    pub admit: u64,
+    /// Cycle its engines were released (`max(arrival, admit)`).
+    pub start: u64,
+    /// Cycle its last element reached every sink (absolute).
+    pub finish: u64,
+    /// The spanning-tree indices (in the full plan) it ran on.
+    pub trees: Vec<usize>,
+    /// Index of the wave it ran in.
+    pub wave: u32,
+    /// Order-independent digest of the job's root-reduced values (see
+    /// [`pf_simnet::JobOutcome::value_hash`]); 0 when the job went
+    /// through fault recovery (the recovery path re-runs on a
+    /// substitute validation workload).
+    pub value_hash: u64,
+    /// Expected-value check failures (must be 0).
+    pub mismatches: u64,
+    /// `true` when a detected fault sent this job through
+    /// [`pf_simnet::run_with_recovery`].
+    pub recovered: bool,
+    /// Recovery attempts taken (0 when `recovered` is false).
+    pub recovery_rounds: u32,
+}
+
+impl JobRecord {
+    /// Cycles spent waiting between arrival and release.
+    #[must_use]
+    pub fn queueing_delay(&self) -> u64 {
+        self.start - self.spec.arrival
+    }
+
+    /// Arrival-to-finish cycles — the latency a tenant observes.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.finish - self.spec.arrival
+    }
+
+    /// Elements per cycle over the job's execution window.
+    #[must_use]
+    pub fn achieved_bandwidth(&self) -> f64 {
+        self.spec.elems as f64 / (self.finish - self.start).max(1) as f64
+    }
+}

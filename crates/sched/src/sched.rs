@@ -1,0 +1,759 @@
+//! The wave-based scheduler: admission, execution, accounting.
+//!
+//! The engine (`pf-simnet`) runs a fixed set of concurrent jobs to
+//! completion — it has no preemption — so the scheduler works in *waves*:
+//! admit up to `max_concurrent` jobs, partition the free trees among
+//! them, run them together in one multi-job simulation, reclaim every
+//! tree, repeat. Jobs that will arrive shortly after a wave starts
+//! (within `lookahead` cycles) can be admitted into it with a deferred
+//! release cycle, which the engine honors exactly; this keeps the fabric
+//! busy without waiting a full wave for a near-miss arrival.
+//!
+//! Everything is a pure function of the inputs: same specs, same config,
+//! same fault schedule → byte-identical [`SchedReport`].
+
+use pf_allreduce::AllreducePlan;
+use pf_graph::RootedTree;
+use pf_simnet::{
+    run_with_recovery, FaultSchedule, JobBinding, JobSegment, JobTraceRow, SimConfig, Simulator,
+    TraceConfig, TraceReport, Workload,
+};
+
+use crate::alloc::TreeAllocator;
+use crate::job::{JobRecord, JobSpec};
+use crate::policy::Policy;
+
+/// Scheduler knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedConfig {
+    /// Admission order (see [`Policy`]).
+    pub policy: Policy,
+    /// Simulator knobs for every wave.
+    pub sim: SimConfig,
+    /// Maximum jobs running concurrently in one wave (≥ 1).
+    pub max_concurrent: usize,
+    /// Minimum trees a job must receive (≥ 1). Admission stops for the
+    /// wave when fewer trees are free.
+    pub min_trees: usize,
+    /// A job arriving within `lookahead` cycles of a wave's start may be
+    /// admitted into it with a deferred release (0 = only jobs that have
+    /// already arrived).
+    pub lookahead: u64,
+    /// Per-wave observability (see [`pf_simnet::trace`]).
+    pub trace: TraceConfig,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            policy: Policy::Fifo,
+            sim: SimConfig::default(),
+            max_concurrent: 4,
+            min_trees: 1,
+            lookahead: 2048,
+            trace: TraceConfig::off(),
+        }
+    }
+}
+
+/// One executed wave.
+#[derive(Debug, Clone)]
+pub struct WaveRecord {
+    /// Wave number, from 0.
+    pub index: u32,
+    /// Absolute cycle the wave started.
+    pub base: u64,
+    /// Cycles the wave occupied the fabric (including any fault
+    /// detection and recovery re-runs).
+    pub cycles: u64,
+    /// Ids of the jobs that ran in this wave.
+    pub jobs: Vec<u32>,
+    /// Peak combined per-edge congestion of the wave's tree allocation
+    /// (≤ the plan's `max_congestion`, asserted by the allocator).
+    pub max_combined_congestion: u32,
+    /// The wave's primary engine trace, when tracing is enabled. Its
+    /// `jobs` table holds this wave's [`JobTraceRow`]s.
+    pub trace: Option<TraceReport>,
+}
+
+/// Cross-tenant fairness summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairnessStats {
+    /// Jain's fairness index over per-job achieved bandwidth:
+    /// `(Σx)² / (n·Σx²)` ∈ (0, 1], 1 = perfectly fair.
+    pub jain_index: f64,
+    /// Median arrival-to-finish latency (nearest-rank).
+    pub p50_latency: u64,
+    /// 99th-percentile arrival-to-finish latency (nearest-rank).
+    pub p99_latency: u64,
+    /// Mean cycles jobs spent queued before release.
+    pub mean_queueing_delay: f64,
+}
+
+/// Everything the scheduler observed over one job stream.
+#[derive(Debug, Clone)]
+pub struct SchedReport {
+    /// Per-job records, in submission order.
+    pub jobs: Vec<JobRecord>,
+    /// The waves, in execution order.
+    pub waves: Vec<WaveRecord>,
+    /// Cycle the last job finished.
+    pub makespan: u64,
+    /// Total elements reduced across all jobs.
+    pub total_elems: u64,
+    /// Total expected-value check failures (must be 0).
+    pub mismatches: u64,
+    /// Peak combined per-edge congestion over all waves.
+    pub max_combined_congestion: u32,
+    /// The plan's own congestion bound (Theorem 7.6 / 7.19); the
+    /// allocator guarantees `max_combined_congestion ≤ congestion_bound`.
+    pub congestion_bound: u32,
+    /// Cross-tenant fairness summary.
+    pub fairness: FairnessStats,
+}
+
+impl SchedReport {
+    /// The per-job trace rows (also embedded per-wave in
+    /// [`WaveRecord::trace`] when tracing is on).
+    #[must_use]
+    pub fn trace_rows(&self) -> Vec<JobTraceRow> {
+        self.jobs.iter().map(job_trace_row).collect()
+    }
+}
+
+fn job_trace_row(r: &JobRecord) -> JobTraceRow {
+    JobTraceRow {
+        job: r.spec.id,
+        arrival: r.spec.arrival,
+        admit: r.admit,
+        start: r.start,
+        finish: r.finish,
+        elems: r.spec.elems,
+        trees: r.trees.len() as u32,
+        queueing_delay: r.queueing_delay(),
+        achieved_bandwidth: r.achieved_bandwidth(),
+    }
+}
+
+/// The multi-tenant scheduler for one plan's fabric.
+pub struct Scheduler<'a> {
+    plan: &'a AllreducePlan,
+    cfg: SchedConfig,
+}
+
+/// One admitted-but-not-yet-finished job inside a wave.
+struct Admitted {
+    /// Index into the spec slice.
+    idx: usize,
+    /// Full-plan tree indices it owns.
+    trees: Vec<usize>,
+    /// Release cycle relative to the wave base.
+    release: u64,
+}
+
+impl<'a> Scheduler<'a> {
+    /// A scheduler over `plan`'s fabric and trees.
+    #[must_use]
+    pub fn new(plan: &'a AllreducePlan, cfg: SchedConfig) -> Self {
+        Scheduler { plan, cfg }
+    }
+
+    /// Runs the job stream to completion on a healthy fabric.
+    pub fn run(&self, specs: &[JobSpec]) -> Result<SchedReport, String> {
+        self.run_impl(specs, None)
+    }
+
+    /// Runs the job stream under fault injection. Fault cycles in
+    /// `schedule` are absolute; each wave sees the events translated into
+    /// its own time base (already-active permanent faults re-activate at
+    /// the wave's first cycle; fully-healed transients are dropped).
+    /// When detection aborts a wave, the unaffected tenants re-run
+    /// untouched on their original tree subsets and releases, and only
+    /// the tenants whose trees use a detected link (or any tenant, on a
+    /// router fault) go through [`run_with_recovery`].
+    pub fn run_faulted(
+        &self,
+        specs: &[JobSpec],
+        schedule: &FaultSchedule,
+    ) -> Result<SchedReport, String> {
+        self.run_impl(specs, Some(schedule))
+    }
+
+    fn run_impl(
+        &self,
+        specs: &[JobSpec],
+        schedule: Option<&FaultSchedule>,
+    ) -> Result<SchedReport, String> {
+        let cfg = &self.cfg;
+        let n = self.plan.graph.num_vertices();
+        validate(specs, cfg, self.plan)?;
+
+        // One segmented workload over every job, in submission order:
+        // job i owns global elements [global_off[i], global_off[i+1]).
+        let segs: Vec<JobSegment> = specs
+            .iter()
+            .map(|s| JobSegment {
+                elems: s.elems,
+                kind: s.kind,
+                participants: s.participants.clone(),
+            })
+            .collect();
+        let w = Workload::concat(n, &segs);
+        let mut global_off = Vec::with_capacity(specs.len());
+        let mut off = 0u64;
+        for s in specs {
+            global_off.push(off);
+            off += s.elems;
+        }
+
+        let mut pending: Vec<usize> = (0..specs.len()).collect();
+        let mut records: Vec<Option<JobRecord>> = specs.iter().map(|_| None).collect();
+        let mut waves: Vec<WaveRecord> = Vec::new();
+        let mut now = 0u64;
+        let mut max_comb = 0u32;
+
+        while !pending.is_empty() {
+            // Idle-skip to the next arrival if the queue is empty now.
+            let earliest = pending.iter().map(|&i| specs[i].arrival).min().expect("non-empty");
+            now = now.max(earliest);
+
+            let admitted = self.admit_wave(specs, &mut pending, now, &mut max_comb);
+            debug_assert!(!admitted.is_empty(), "a wave always admits at least one job");
+
+            let wave_cycles = self.execute_wave(
+                &w,
+                specs,
+                &global_off,
+                &admitted,
+                now,
+                schedule,
+                &mut records,
+                &mut waves,
+            )?;
+            now += wave_cycles;
+        }
+
+        let jobs: Vec<JobRecord> =
+            records.into_iter().map(|r| r.expect("every job ran")).collect();
+        let makespan = jobs.iter().map(|r| r.finish).max().unwrap_or(0);
+        let mismatches = jobs.iter().map(|r| r.mismatches).sum();
+        Ok(SchedReport {
+            makespan,
+            total_elems: specs.iter().map(|s| s.elems).sum(),
+            mismatches,
+            max_combined_congestion: max_comb,
+            congestion_bound: self.plan.max_congestion,
+            fairness: fairness(&jobs),
+            jobs,
+            waves,
+        })
+    }
+
+    /// Admits up to `max_concurrent` jobs at wave base `now`, allocating
+    /// trees as it goes. Tree shares rebalance to the visible queue
+    /// depth: with `k` admission slots still open and `f` free trees,
+    /// the next job receives `max(min_trees, f / k)` trees, so a lone
+    /// job gets the whole fabric and a full queue splits it evenly.
+    fn admit_wave(
+        &self,
+        specs: &[JobSpec],
+        pending: &mut Vec<usize>,
+        now: u64,
+        max_comb: &mut u32,
+    ) -> Vec<Admitted> {
+        let cfg = &self.cfg;
+        let mut alloc = TreeAllocator::new(self.plan);
+        let mut admitted: Vec<Admitted> = Vec::new();
+        let horizon = now.saturating_add(cfg.lookahead);
+
+        while admitted.len() < cfg.max_concurrent && alloc.free_trees() >= cfg.min_trees {
+            // Prefer jobs that have arrived (policy order); otherwise pull
+            // the earliest upcoming arrival within the lookahead window.
+            let arrived: Vec<(usize, &JobSpec)> = pending
+                .iter()
+                .filter(|&&i| specs[i].arrival <= now)
+                .map(|&i| (i, &specs[i]))
+                .collect();
+            let chosen = if arrived.is_empty() {
+                let upcoming = pending
+                    .iter()
+                    .copied()
+                    .filter(|&i| specs[i].arrival <= horizon)
+                    .min_by_key(|&i| (specs[i].arrival, specs[i].id));
+                match upcoming {
+                    Some(i) => i,
+                    None => break,
+                }
+            } else {
+                arrived[cfg.policy.pick(&arrived, now)].0
+            };
+
+            // Rebalance: split the free trees over the slots the visible
+            // queue can actually fill.
+            let visible = pending.iter().filter(|&&i| specs[i].arrival <= horizon).count();
+            let slots = (cfg.max_concurrent - admitted.len()).min(visible).max(1);
+            let want = (alloc.free_trees() / slots).max(cfg.min_trees);
+            let trees = alloc.allocate(want).expect("want ≤ free by construction");
+
+            pending.retain(|&i| i != chosen);
+            admitted.push(Admitted {
+                idx: chosen,
+                trees,
+                release: specs[chosen].arrival.saturating_sub(now),
+            });
+        }
+        *max_comb = (*max_comb).max(alloc.max_combined());
+        admitted
+    }
+
+    /// Runs one wave (with fault handling) and fills the job records.
+    /// Returns the cycles the wave occupied the fabric.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_wave(
+        &self,
+        w: &Workload,
+        specs: &[JobSpec],
+        global_off: &[u64],
+        admitted: &[Admitted],
+        base: u64,
+        schedule: Option<&FaultSchedule>,
+        records: &mut [Option<JobRecord>],
+        waves: &mut Vec<WaveRecord>,
+    ) -> Result<u64, String> {
+        let cfg = &self.cfg;
+        let wave_index = waves.len() as u32;
+        let wsched = schedule.map(|s| rebase_schedule(s, base)).filter(|s| !s.is_empty());
+        let max_comb_wave = {
+            let mut a = TreeAllocator::new(self.plan);
+            for adm in admitted {
+                // Re-derive this wave's combined congestion for the record.
+                let got = a.allocate(adm.trees.len()).expect("trees were allocatable");
+                debug_assert_eq!(got, adm.trees);
+            }
+            a.max_combined()
+        };
+
+        // `to_run` shrinks only on fault recovery: jobs whose trees used a
+        // detected link leave through `run_with_recovery`, the rest re-run
+        // untouched (same trees, same releases, same time base).
+        let mut to_run: Vec<&Admitted> = admitted.iter().collect();
+        let mut wave_cycles = 0u64;
+        let mut wave_trace: Option<TraceReport> = None;
+        let mut wave_job_ids: Vec<u32> = admitted.iter().map(|a| specs[a.idx].id).collect();
+        wave_job_ids.sort_unstable();
+
+        while !to_run.is_empty() {
+            let (emb_trees, sizes, offsets, bindings) =
+                self.wave_embedding(specs, global_off, &to_run);
+            let emb = pf_simnet::MultiTreeEmbedding::with_offsets(
+                &self.plan.graph,
+                &emb_trees,
+                &sizes,
+                &offsets,
+            );
+            let mut sim = Simulator::new(&self.plan.graph, &emb, cfg.sim).with_trace(cfg.trace);
+            if let Some(ws) = &wsched {
+                sim = sim.with_faults(&self.plan.graph, ws.clone());
+            }
+            let run = sim.run_jobs(w, &bindings);
+            if wave_trace.is_none() {
+                wave_trace = run.trace;
+            }
+
+            if run.report.completed {
+                wave_cycles = wave_cycles.max(run.report.cycles);
+                for (k, adm) in to_run.iter().enumerate() {
+                    let out = &run.jobs[k];
+                    records[adm.idx] = Some(JobRecord {
+                        spec: specs[adm.idx].clone(),
+                        admit: base,
+                        start: base + adm.release,
+                        finish: base + out.completion,
+                        trees: adm.trees.clone(),
+                        wave: wave_index,
+                        value_hash: out.value_hash,
+                        mismatches: out.mismatches,
+                        recovered: false,
+                        recovery_rounds: 0,
+                    });
+                }
+                break;
+            }
+
+            if !run.faults.aborted {
+                return Err(format!(
+                    "wave {wave_index} exhausted max_cycles without completing"
+                ));
+            }
+
+            // Fault detection aborted the wave. Split the tenants.
+            let detected = run.faults.detected();
+            let mut survivors: Vec<&Admitted> = Vec::new();
+            let mut hit: Vec<&Admitted> = Vec::new();
+            for adm in &to_run {
+                let affected = !detected.routers.is_empty()
+                    || self.job_uses_edge(&adm.trees, &detected.edges);
+                if affected {
+                    hit.push(adm);
+                } else {
+                    survivors.push(adm);
+                }
+            }
+            if hit.is_empty() {
+                return Err(format!(
+                    "wave {wave_index} aborted on a fault no tenant's trees use"
+                ));
+            }
+            let ws = wsched
+                .as_ref()
+                .expect("detection implies an attached schedule");
+            for adm in hit {
+                let sub = self.plan.tree_subset(&adm.trees);
+                let outcome = run_with_recovery(&sub, specs[adm.idx].elems, cfg.sim, ws)
+                    .map_err(|e| {
+                        format!("recovery of job {} failed: {e}", specs[adm.idx].id)
+                    })?;
+                let cost = adm.release + outcome.total_cycles;
+                wave_cycles = wave_cycles.max(cost);
+                records[adm.idx] = Some(JobRecord {
+                    spec: specs[adm.idx].clone(),
+                    admit: base,
+                    start: base + adm.release,
+                    finish: base + cost,
+                    trees: adm.trees.clone(),
+                    wave: wave_index,
+                    // The recovery path validates on its own substitute
+                    // workload; the digest is not comparable.
+                    value_hash: 0,
+                    mismatches: outcome.final_report().mismatches,
+                    recovered: true,
+                    recovery_rounds: outcome.rounds.len() as u32,
+                });
+            }
+            to_run = survivors;
+        }
+
+        if let Some(tr) = &mut wave_trace {
+            tr.jobs = admitted
+                .iter()
+                .filter_map(|a| records[a.idx].as_ref())
+                .map(job_trace_row)
+                .collect();
+        }
+        waves.push(WaveRecord {
+            index: wave_index,
+            base,
+            cycles: wave_cycles,
+            jobs: wave_job_ids,
+            max_combined_congestion: max_comb_wave,
+            trace: wave_trace,
+        });
+        Ok(wave_cycles)
+    }
+
+    /// Builds the concatenated embedding inputs for one engine run over
+    /// `to_run`: each job's subset plan splits its vector across its
+    /// trees, and the slices address the job's own global element range
+    /// (so a job re-run solo reduces exactly the same elements).
+    fn wave_embedding(
+        &self,
+        specs: &[JobSpec],
+        global_off: &[u64],
+        to_run: &[&Admitted],
+    ) -> (Vec<RootedTree>, Vec<u64>, Vec<u64>, Vec<JobBinding>) {
+        let mut emb_trees = Vec::new();
+        let mut sizes = Vec::new();
+        let mut offsets = Vec::new();
+        let mut bindings = Vec::new();
+        let mut tstart = 0usize;
+        for adm in to_run {
+            let sub = self.plan.tree_subset(&adm.trees);
+            let split = sub.split(specs[adm.idx].elems);
+            let mut off = global_off[adm.idx];
+            for (t, &len) in sub.trees.iter().zip(&split) {
+                emb_trees.push(t.clone());
+                sizes.push(len);
+                offsets.push(off);
+                off += len;
+            }
+            bindings.push(JobBinding {
+                trees: tstart..tstart + adm.trees.len(),
+                release: adm.release,
+            });
+            tstart += adm.trees.len();
+        }
+        (emb_trees, sizes, offsets, bindings)
+    }
+
+    /// Does any of the job's trees use one of the detected edges?
+    fn job_uses_edge(&self, trees: &[usize], edges: &[u32]) -> bool {
+        trees.iter().any(|&ti| {
+            self.plan.trees[ti]
+                .edge_ids(&self.plan.graph)
+                .iter()
+                .any(|e| edges.contains(e))
+        })
+    }
+}
+
+fn validate(specs: &[JobSpec], cfg: &SchedConfig, plan: &AllreducePlan) -> Result<(), String> {
+    if specs.is_empty() {
+        return Err("no jobs submitted".into());
+    }
+    if cfg.max_concurrent == 0 {
+        return Err("max_concurrent must be at least 1".into());
+    }
+    if cfg.min_trees == 0 || cfg.min_trees > plan.trees.len() {
+        return Err(format!(
+            "min_trees must be in 1..={} (the plan's tree count)",
+            plan.trees.len()
+        ));
+    }
+    let n = plan.graph.num_vertices();
+    let mut ids = std::collections::BTreeSet::new();
+    for s in specs {
+        if !ids.insert(s.id) {
+            return Err(format!("duplicate job id {}", s.id));
+        }
+        if s.elems == 0 {
+            return Err(format!("job {} has an empty vector", s.id));
+        }
+        if let Some(p) = &s.participants {
+            if p.is_empty() {
+                return Err(format!("job {} has an empty participant set", s.id));
+            }
+            if let Some(&bad) = p.iter().find(|&&v| v >= n) {
+                return Err(format!(
+                    "job {}: participant {bad} out of range (fabric has {n} nodes)",
+                    s.id
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Translates an absolute-cycle fault schedule into a wave's time base.
+fn rebase_schedule(s: &FaultSchedule, base: u64) -> FaultSchedule {
+    let events = s
+        .events
+        .iter()
+        .filter_map(|ev| {
+            if ev.cycle >= base {
+                Some(pf_simnet::FaultEvent { cycle: ev.cycle - base, ..*ev })
+            } else {
+                match ev.duration {
+                    // A permanent fault that activated in an earlier wave
+                    // is still broken: re-activate at the wave's start.
+                    None => Some(pf_simnet::FaultEvent { cycle: 0, ..*ev }),
+                    Some(d) => {
+                        let heal = ev.cycle.saturating_add(d);
+                        // A transient still active at the wave boundary
+                        // keeps its remaining duration; a healed one is
+                        // history.
+                        (heal > base).then(|| pf_simnet::FaultEvent {
+                            cycle: 0,
+                            duration: Some(heal - base),
+                            ..*ev
+                        })
+                    }
+                }
+            }
+        })
+        .collect();
+    FaultSchedule { events, detection: s.detection }
+}
+
+/// Jain's index and latency percentiles over the finished jobs.
+fn fairness(jobs: &[JobRecord]) -> FairnessStats {
+    let bw: Vec<f64> = jobs.iter().map(JobRecord::achieved_bandwidth).collect();
+    let sum: f64 = bw.iter().sum();
+    let sumsq: f64 = bw.iter().map(|x| x * x).sum();
+    let n = bw.len() as f64;
+    let jain = if sumsq > 0.0 { (sum * sum) / (n * sumsq) } else { 1.0 };
+
+    let mut lat: Vec<u64> = jobs.iter().map(JobRecord::latency).collect();
+    lat.sort_unstable();
+    let pct = |p: u64| -> u64 {
+        let idx = (p as usize * lat.len()).div_ceil(100).max(1) - 1;
+        lat[idx.min(lat.len() - 1)]
+    };
+    let mean_q =
+        jobs.iter().map(JobRecord::queueing_delay).sum::<u64>() as f64 / jobs.len() as f64;
+    FairnessStats {
+        jain_index: jain,
+        p50_latency: pct(50),
+        p99_latency: pct(99),
+        mean_queueing_delay: mean_q,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+
+    fn plan() -> AllreducePlan {
+        AllreducePlan::low_depth(3).unwrap()
+    }
+
+    #[test]
+    fn single_job_gets_the_whole_fabric() {
+        let p = plan();
+        let s = Scheduler::new(&p, SchedConfig::default());
+        let r = s.run(&[JobSpec::new(0, 0, 64)]).unwrap();
+        assert_eq!(r.jobs.len(), 1);
+        assert_eq!(r.jobs[0].trees.len(), p.trees.len());
+        assert_eq!(r.jobs[0].mismatches, 0);
+        assert_eq!(r.mismatches, 0);
+        assert_eq!(r.waves.len(), 1);
+        assert_eq!(r.makespan, r.jobs[0].finish);
+        assert!(r.max_combined_congestion <= r.congestion_bound);
+    }
+
+    #[test]
+    fn concurrent_jobs_split_the_trees() {
+        let p = plan();
+        let cfg = SchedConfig { max_concurrent: 2, ..SchedConfig::default() };
+        let s = Scheduler::new(&p, cfg);
+        let r = s.run(&[JobSpec::new(0, 0, 48), JobSpec::new(1, 0, 48)]).unwrap();
+        assert_eq!(r.waves.len(), 1, "both jobs fit one wave");
+        assert_eq!(r.jobs[0].wave, 0);
+        assert_eq!(r.jobs[1].wave, 0);
+        let t0: Vec<usize> = r.jobs[0].trees.clone();
+        let t1: Vec<usize> = r.jobs[1].trees.clone();
+        assert!(t0.iter().all(|ti| !t1.contains(ti)), "tree subsets are disjoint");
+        assert_eq!(t0.len() + t1.len(), p.trees.len());
+        assert_eq!(r.mismatches, 0);
+    }
+
+    #[test]
+    fn later_arrival_is_released_later() {
+        let p = plan();
+        let cfg = SchedConfig { max_concurrent: 2, lookahead: 10_000, ..SchedConfig::default() };
+        let s = Scheduler::new(&p, cfg);
+        let r = s.run(&[JobSpec::new(0, 0, 64), JobSpec::new(1, 500, 64)]).unwrap();
+        assert_eq!(r.waves.len(), 1, "lookahead admits the upcoming job");
+        assert_eq!(r.jobs[1].start, 500);
+        assert_eq!(r.jobs[1].queueing_delay(), 0);
+        assert!(r.jobs[1].finish > 500);
+    }
+
+    #[test]
+    fn queue_overflow_rolls_into_a_second_wave() {
+        let p = plan();
+        let cfg = SchedConfig { max_concurrent: 2, ..SchedConfig::default() };
+        let s = Scheduler::new(&p, cfg);
+        let specs: Vec<JobSpec> = (0..3).map(|i| JobSpec::new(i, 0, 32)).collect();
+        let r = s.run(&specs).unwrap();
+        assert_eq!(r.waves.len(), 2);
+        assert_eq!(r.jobs.iter().filter(|j| j.wave == 0).count(), 2);
+        assert_eq!(r.jobs.iter().filter(|j| j.wave == 1).count(), 1);
+        // The second wave starts when the first ends.
+        assert_eq!(r.waves[1].base, r.waves[0].base + r.waves[0].cycles);
+        let straggler = r.jobs.iter().find(|j| j.wave == 1).unwrap();
+        assert_eq!(straggler.queueing_delay(), r.waves[1].base);
+    }
+
+    #[test]
+    fn far_future_arrival_waits_out_the_lookahead() {
+        let p = plan();
+        let cfg = SchedConfig { max_concurrent: 4, lookahead: 100, ..SchedConfig::default() };
+        let s = Scheduler::new(&p, cfg);
+        let r = s.run(&[JobSpec::new(0, 0, 32), JobSpec::new(1, 1_000_000, 32)]).unwrap();
+        assert_eq!(r.waves.len(), 2, "a far-future job is not dragged into wave 0");
+        assert_eq!(r.jobs[1].start, 1_000_000, "the fabric idles until it arrives");
+    }
+
+    #[test]
+    fn sjf_reorders_the_queue() {
+        let p = plan();
+        let cfg = SchedConfig {
+            max_concurrent: 1,
+            policy: Policy::ShortestJobFirst,
+            ..SchedConfig::default()
+        };
+        let s = Scheduler::new(&p, cfg);
+        // All arrive at 0; the short job must run in the first wave.
+        let specs =
+            [JobSpec::new(0, 0, 512), JobSpec::new(1, 0, 16), JobSpec::new(2, 0, 256)];
+        let r = s.run(&specs).unwrap();
+        assert_eq!(r.jobs[1].wave, 0);
+        assert_eq!(r.jobs[2].wave, 1);
+        assert_eq!(r.jobs[0].wave, 2);
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let p = plan();
+        let cfg = SchedConfig { max_concurrent: 3, ..SchedConfig::default() };
+        let s = Scheduler::new(&p, cfg);
+        let specs: Vec<JobSpec> =
+            (0..6).map(|i| JobSpec::new(i, u64::from(i) * 37, 24 + u64::from(i) * 5)).collect();
+        let a = s.run(&specs).unwrap();
+        let b = s.run(&specs).unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.finish, y.finish);
+            assert_eq!(x.value_hash, y.value_hash);
+            assert_eq!(x.trees, y.trees);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_streams() {
+        let p = plan();
+        let s = Scheduler::new(&p, SchedConfig::default());
+        assert!(s.run(&[]).is_err());
+        assert!(s.run(&[JobSpec::new(0, 0, 8), JobSpec::new(0, 0, 8)]).is_err());
+        assert!(s.run(&[JobSpec::new(0, 0, 0)]).is_err());
+        let bad = JobSpec { participants: Some(vec![10_000]), ..JobSpec::new(1, 0, 8) };
+        assert!(s.run(&[bad]).is_err());
+    }
+
+    #[test]
+    fn rebase_translates_fault_cycles() {
+        let sched = FaultSchedule {
+            events: vec![
+                pf_simnet::FaultEvent {
+                    cycle: 100,
+                    target: pf_simnet::FaultTarget::Link(3),
+                    kind: pf_simnet::FaultKind::Down,
+                    duration: None,
+                },
+                pf_simnet::FaultEvent {
+                    cycle: 50,
+                    target: pf_simnet::FaultTarget::Link(4),
+                    kind: pf_simnet::FaultKind::Down,
+                    duration: Some(30),
+                },
+                pf_simnet::FaultEvent {
+                    cycle: 60,
+                    target: pf_simnet::FaultTarget::Link(5),
+                    kind: pf_simnet::FaultKind::Down,
+                    duration: Some(500),
+                },
+            ],
+            detection: Default::default(),
+        };
+        let r = rebase_schedule(&sched, 90);
+        // Future permanent: shifted. Healed transient (50+30 ≤ 90):
+        // dropped. Active transient: re-based with remaining duration.
+        assert_eq!(r.events.len(), 2);
+        assert_eq!(r.events[0].cycle, 10);
+        assert_eq!(r.events[1].cycle, 0);
+        assert_eq!(r.events[1].duration, Some(470));
+    }
+
+    #[test]
+    fn fairness_stats_are_sane() {
+        let p = plan();
+        let cfg = SchedConfig { max_concurrent: 2, ..SchedConfig::default() };
+        let s = Scheduler::new(&p, cfg);
+        let specs: Vec<JobSpec> = (0..4).map(|i| JobSpec::new(i, 0, 64)).collect();
+        let r = s.run(&specs).unwrap();
+        assert!(r.fairness.jain_index > 0.5 && r.fairness.jain_index <= 1.0);
+        assert!(r.fairness.p50_latency <= r.fairness.p99_latency);
+        assert_eq!(r.fairness.p99_latency, r.jobs.iter().map(JobRecord::latency).max().unwrap());
+    }
+}

@@ -78,18 +78,41 @@ pub fn channel_id(g: &Graph, src: VertexId, dst: VertexId) -> u32 {
 impl MultiTreeEmbedding {
     /// Builds the embedding of `trees` in `g`, carving an `m`-element
     /// vector into per-tree slices `sizes` (must sum to `m`; use
-    /// `pf_allreduce::perf::optimal_split`).
+    /// `pf_allreduce::perf::optimal_split`). Tree slices are laid out
+    /// back to back from element 0.
     ///
     /// Panics if a tree is not a spanning tree of `g` or sizes mismatch.
     pub fn new(g: &Graph, trees: &[RootedTree], sizes: &[u64]) -> Self {
+        let mut offsets = Vec::with_capacity(sizes.len());
+        let mut off = 0u64;
+        for &len in sizes {
+            offsets.push(off);
+            off += len;
+        }
+        Self::with_offsets(g, trees, sizes, &offsets)
+    }
+
+    /// Builds an embedding whose tree slices sit at *explicit* global
+    /// element offsets instead of a dense 0-based layout. This is how
+    /// multi-tenant runs address one shared element space: each job's
+    /// trees point at that job's global element range, so a job re-run
+    /// solo on the same offsets reduces exactly the same elements as in a
+    /// concurrent run. `total_len` stays the sum of `sizes` (the work this
+    /// embedding performs), not the extent of the global space.
+    ///
+    /// Panics if a tree is not a spanning tree of `g` or lengths mismatch.
+    pub fn with_offsets(g: &Graph, trees: &[RootedTree], sizes: &[u64], offsets: &[u64]) -> Self {
         assert_eq!(trees.len(), sizes.len(), "one slice size per tree");
+        assert_eq!(trees.len(), offsets.len(), "one slice offset per tree");
         let n = g.num_vertices();
         let mut configs = Vec::with_capacity(trees.len());
         let mut streams = Vec::new();
         let mut channel_streams = vec![Vec::new(); 2 * g.num_edges() as usize];
-        let mut offset = 0u64;
+        let mut total = 0u64;
 
-        for (ti, (t, &len)) in trees.iter().zip(sizes).enumerate() {
+        for (ti, (t, (&len, &offset))) in
+            trees.iter().zip(sizes.iter().zip(offsets)).enumerate()
+        {
             t.validate_spanning(g).expect("embedded tree must span the network");
             let mut children = vec![Vec::new(); n as usize];
             let mut parent = vec![None; n as usize];
@@ -107,7 +130,7 @@ impl MultiTreeEmbedding {
                 streams.push(down);
             }
             configs.push(TreeConfig { root: t.root(), children, parent, offset, len });
-            offset += len;
+            total += len;
         }
 
         MultiTreeEmbedding {
@@ -115,8 +138,15 @@ impl MultiTreeEmbedding {
             trees: configs,
             streams,
             channel_streams,
-            total_len: offset,
+            total_len: total,
         }
+    }
+
+    /// One past the highest global element any tree slice touches — the
+    /// minimum workload length this embedding needs. Equals `total_len`
+    /// for dense ([`MultiTreeEmbedding::new`]) layouts.
+    pub fn elem_end(&self) -> u64 {
+        self.trees.iter().map(|t| t.offset + t.len).max().unwrap_or(0)
     }
 
     /// Worst-case number of streams sharing one directed channel — the VC
@@ -233,6 +263,27 @@ mod tests {
         let c10 = channel_id(&g, 1, 0);
         assert_ne!(c01, c10);
         assert_eq!(c01 / 2, c10 / 2);
+    }
+
+    #[test]
+    fn explicit_offsets_place_slices_in_a_shared_space() {
+        let g = cycle(4);
+        let t1 = RootedTree::from_path(&[0, 1, 2, 3], 0).unwrap();
+        let t2 = RootedTree::from_path(&[0, 1, 2, 3], 3).unwrap();
+        // A tenant owning global elements [100, 130): 10 on t1, 20 on t2.
+        let e = MultiTreeEmbedding::with_offsets(&g, &[t1, t2], &[10, 20], &[100, 110]);
+        assert_eq!(e.trees[0].offset, 100);
+        assert_eq!(e.trees[1].offset, 110);
+        assert_eq!(e.total_len, 30); // work performed, not global extent
+        assert_eq!(e.elem_end(), 130);
+    }
+
+    #[test]
+    fn dense_layout_elem_end_equals_total_len() {
+        let g = cycle(4);
+        let t = RootedTree::from_path(&[0, 1, 2, 3], 1).unwrap();
+        let e = MultiTreeEmbedding::new(&g, &[t], &[100]);
+        assert_eq!(e.elem_end(), e.total_len);
     }
 
     #[test]

@@ -138,6 +138,55 @@ pub struct SimReport {
     pub max_vc_occupancy: usize,
 }
 
+/// One tenant's slice of a multi-job run ([`Simulator::run_jobs`]): which
+/// contiguous range of the embedding's trees it owns and when it is
+/// released into the fabric.
+#[derive(Debug, Clone)]
+pub struct JobBinding {
+    /// The half-open range of embedded tree indices this job owns. The
+    /// bindings of one run must partition `0..emb.trees.len()`
+    /// contiguously and in order.
+    pub trees: std::ops::Range<usize>,
+    /// First cycle at which this job's engines may fire (`0` = from the
+    /// start). Models staggered arrivals inside one scheduling wave.
+    pub release: u64,
+}
+
+/// Per-job results of a multi-job run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Cycle of this job's first delivered element (0 if none).
+    pub first_delivery: u64,
+    /// Cycle of this job's last delivered element (0 if incomplete).
+    pub completion: u64,
+    /// Elements delivered to sinks for this job (`elems * n` when done).
+    pub deliveries: u64,
+    /// The job's vector length (sum of its trees' slice lengths).
+    pub elems: u64,
+    /// Order-independent digest of the root-reduced values, keyed by
+    /// global element id. Two runs reducing the same elements over the
+    /// same trees produce the same digest — the scheduler's
+    /// concurrent-vs-sequential equivalence check.
+    pub value_hash: u64,
+    /// Expected-value check failures attributed to this job (must be 0).
+    pub mismatches: u64,
+}
+
+/// Result of [`Simulator::run_jobs`]: the fabric-wide report plus one
+/// [`JobOutcome`] per binding.
+#[derive(Debug, Clone)]
+pub struct JobsRun {
+    /// The ordinary fabric-wide simulation report.
+    pub report: SimReport,
+    /// The trace, when one was enabled via [`Simulator::with_trace`].
+    pub trace: Option<TraceReport>,
+    /// What the fault layer injected and detected (quiet when no layer
+    /// was attached).
+    pub faults: FaultReport,
+    /// Per-job outcomes, in binding order.
+    pub jobs: Vec<JobOutcome>,
+}
+
 /// Result of a run with a fault layer attached
 /// ([`Simulator::with_faults`]).
 #[derive(Debug, Clone)]
@@ -240,6 +289,38 @@ impl<'a> Simulator<'a> {
         FaultedRun { report, trace, faults: faults.unwrap_or_else(FaultReport::quiet) }
     }
 
+    /// Runs several independent allreduce jobs concurrently on one fabric.
+    ///
+    /// Each [`JobBinding`] owns a contiguous range of the embedding's
+    /// trees (the bindings must partition `0..emb.trees.len()` in order)
+    /// and an optional release cycle. The jobs contend for the shared
+    /// directed channels exactly like the streams of a single collective
+    /// — the active-set engine arbitrates them with no scheduler in the
+    /// loop — while reductions, validation and completion are tracked per
+    /// job. The workload must cover every tree slice's global element
+    /// range (build it with [`Workload::concat`] so each job owns a
+    /// distinct segment; `w.len() >= emb.elem_end()`).
+    ///
+    /// With a single binding released at 0 this is exactly
+    /// [`Simulator::run`] plus per-job accounting: same `SimReport`,
+    /// byte-identical engine decisions.
+    pub fn run_jobs(self, w: &Workload, bindings: &[JobBinding]) -> JobsRun {
+        assert!(!bindings.is_empty(), "at least one job binding");
+        let ntrees = self.emb.trees.len();
+        let mut next = 0usize;
+        for b in bindings {
+            assert!(
+                b.trees.start == next && b.trees.end > b.trees.start && b.trees.end <= ntrees,
+                "job bindings must partition the embedding's trees contiguously"
+            );
+            next = b.trees.end;
+        }
+        assert_eq!(next, ntrees, "job bindings must cover every embedded tree");
+        let (report, trace, faults, jobs) =
+            self.run_inner_jobs(w, Collective::Allreduce, Some(bindings));
+        JobsRun { report, trace, faults: faults.unwrap_or_else(FaultReport::quiet), jobs }
+    }
+
     /// Runs `w` on the retained pre-optimization stepper (see
     /// [`mod@reference`]). Kept solely so differential tests and the
     /// `experiments perf-snapshot` harness can compare the optimized
@@ -270,11 +351,24 @@ impl<'a> Simulator<'a> {
         w: &Workload,
         kind: Collective,
     ) -> (SimReport, Option<TraceReport>, Option<FaultReport>) {
+        let (report, trace, faults, _) = self.run_inner_jobs(w, kind, None);
+        (report, trace, faults)
+    }
+
+    fn run_inner_jobs(
+        self,
+        w: &Workload,
+        kind: Collective,
+        bindings: Option<&[JobBinding]>,
+    ) -> (SimReport, Option<TraceReport>, Option<FaultReport>, Vec<JobOutcome>) {
         assert_eq!(w.nodes(), self.emb.num_nodes);
-        assert_eq!(w.len(), self.emb.total_len);
+        assert!(
+            w.len() >= self.emb.elem_end(),
+            "workload must cover every tree slice's global element range"
+        );
 
         let Simulator { emb, cfg, mut tracer, mut faults } = self;
-        let mut st = RunState::new(emb, cfg, kind);
+        let mut st = RunState::new(emb, cfg, kind, bindings);
 
         let traced = tracer.is_some();
         let mut cycle = 0u64;
@@ -314,6 +408,9 @@ impl<'a> Simulator<'a> {
                     if let Some(next) = faults.as_ref().and_then(|f| f.next_transition()) {
                         target = target.min(next - 1);
                     }
+                    if let Some(next) = st.next_release(cycle) {
+                        target = target.min(next - 1);
+                    }
                     cycle = cycle.max(target.min(cfg.max_cycles));
                 }
             }
@@ -345,8 +442,30 @@ impl<'a> Simulator<'a> {
             max_channel_utilization: max_util,
             max_vc_occupancy: st.max_vc_occupancy,
         };
-        (report, trace, fault_report)
+        let jobs = (0..st.njobs)
+            .map(|j| JobOutcome {
+                first_delivery: st.job_first[j],
+                completion: st.job_completion[j],
+                deliveries: st.job_deliveries[j],
+                elems: st.job_elems[j],
+                value_hash: st.job_hash[j],
+                mismatches: st.job_mismatches[j],
+            })
+            .collect();
+        (report, trace, fault_report, jobs)
     }
+}
+
+/// Order-independent digest entry for one root-reduced element: a
+/// SplitMix64-style finalizer over `(global element id, reduced value)`.
+/// Job digests are the wrapping sum of these entries, so arbitrary
+/// interleaving of element completions leaves the digest unchanged.
+#[inline]
+fn hash_entry(elem: u64, val: u64) -> u64 {
+    let mut z = elem.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ val;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Sentinel for "no stream wired here" in the flat dataflow arrays.
@@ -369,6 +488,19 @@ struct RunState {
     tree_root: Vec<u32>,
     tree_len: Vec<u64>,
     tree_off: Vec<u64>,
+
+    // Multi-job bookkeeping (all-zero / inert for single-job runs).
+    track_jobs: bool,
+    njobs: usize,
+    tree_release: Vec<u64>,
+    tree_job: Vec<u32>,
+    job_first: Vec<u64>,
+    job_completion: Vec<u64>,
+    job_deliveries: Vec<u64>,
+    job_total: Vec<u64>,
+    job_elems: Vec<u64>,
+    job_hash: Vec<u64>,
+    job_mismatches: Vec<u64>,
 
     // Per-pair dataflow wiring: CSR slices into the id arenas.
     reduce_in_off: Vec<u32>,
@@ -449,7 +581,12 @@ struct RunState {
 }
 
 impl RunState {
-    fn new(emb: &MultiTreeEmbedding, cfg: SimConfig, kind: Collective) -> Self {
+    fn new(
+        emb: &MultiTreeEmbedding,
+        cfg: SimConfig,
+        kind: Collective,
+        bindings: Option<&[JobBinding]>,
+    ) -> Self {
         let n = emb.num_nodes as usize;
         let ntrees = emb.trees.len();
         let pairs = ntrees * n;
@@ -551,6 +688,24 @@ impl RunState {
             }
         }
 
+        // Per-job wiring: which job each tree belongs to, when it is
+        // released, and how many deliveries complete each job.
+        let njobs = bindings.map_or(0, <[JobBinding]>::len);
+        let mut tree_release = vec![0u64; ntrees];
+        let mut tree_job = vec![0u32; ntrees];
+        let mut job_total = vec![0u64; njobs];
+        let mut job_elems = vec![0u64; njobs];
+        if let Some(bs) = bindings {
+            for (j, b) in bs.iter().enumerate() {
+                for ti in b.trees.clone() {
+                    tree_release[ti] = b.release;
+                    tree_job[ti] = j as u32;
+                    job_total[j] += emb.trees[ti].len * per_tree_sinks;
+                    job_elems[j] += emb.trees[ti].len;
+                }
+            }
+        }
+
         // Every engine of a non-empty tree starts active: leaves can fire
         // on cycle 1, everything else stalls once and deactivates.
         let mut pair_active = vec![0u64; ntrees * words_per_tree];
@@ -574,6 +729,17 @@ impl RunState {
             tree_root: emb.trees.iter().map(|t| t.root).collect(),
             tree_len: emb.trees.iter().map(|t| t.len).collect(),
             tree_off: emb.trees.iter().map(|t| t.offset).collect(),
+            track_jobs: bindings.is_some(),
+            njobs,
+            tree_release,
+            tree_job,
+            job_first: vec![0; njobs],
+            job_completion: vec![0; njobs],
+            job_deliveries: vec![0; njobs],
+            job_total,
+            job_elems,
+            job_hash: vec![0; njobs],
+            job_mismatches: vec![0; njobs],
             reduce_in_off,
             bcast_out_off,
             in_ids,
@@ -740,7 +906,9 @@ impl RunState {
     ) {
         let ntrees = self.ntrees;
         for ti in (0..ntrees).map(|i| (i + cycle as usize) % ntrees.max(1)) {
-            if self.tree_len[ti] == 0 {
+            // An unreleased tree keeps its engines armed but dormant: its
+            // active bits survive untouched, so it wakes whole at release.
+            if self.tree_len[ti] == 0 || cycle < self.tree_release[ti] {
                 continue;
             }
             if tracer.is_some() {
@@ -867,11 +1035,19 @@ impl RunState {
                 for i in in_lo..in_hi {
                     let s = self.in_ids[i] as usize;
                     let x = self.recvq_pop(s);
-                    acc = w.combine(acc, x);
+                    acc = w.combine_at(offset + elem, acc, x);
                 }
                 if is_root {
-                    if !w.value_close(acc, w.expected(offset + elem)) {
+                    if !w.value_close_at(offset + elem, acc, w.expected(offset + elem)) {
                         self.mismatches += 1;
+                        if self.track_jobs {
+                            self.job_mismatches[self.tree_job[ti] as usize] += 1;
+                        }
+                    }
+                    if self.track_jobs {
+                        let j = self.tree_job[ti] as usize;
+                        self.job_hash[j] =
+                            self.job_hash[j].wrapping_add(hash_entry(offset + elem, acc));
                     }
                     if kind == Collective::Allreduce {
                         for i in out_lo..out_hi {
@@ -951,8 +1127,11 @@ impl RunState {
                         Collective::Broadcast => w.input(root as u32, offset + elem),
                         _ => w.expected(offset + elem),
                     };
-                    if !w.value_close(val, expected) {
+                    if !w.value_close_at(offset + elem, val, expected) {
                         self.mismatches += 1;
+                        if self.track_jobs {
+                            self.job_mismatches[self.tree_job[ti] as usize] += 1;
+                        }
                     }
                     for i in out_lo..out_hi {
                         let s = self.out_ids[i] as usize;
@@ -982,6 +1161,16 @@ impl RunState {
         self.tree_deliveries[ti] += 1;
         if self.tree_deliveries[ti] == self.tree_len[ti] * self.per_tree_sinks {
             self.tree_completion[ti] = cycle;
+        }
+        if self.track_jobs {
+            let j = self.tree_job[ti] as usize;
+            self.job_deliveries[j] += 1;
+            if self.job_deliveries[j] == 1 {
+                self.job_first[j] = cycle;
+            }
+            if self.job_deliveries[j] == self.job_total[j] {
+                self.job_completion[j] = cycle;
+            }
         }
     }
 
@@ -1131,6 +1320,11 @@ impl RunState {
             }
         }
         next
+    }
+
+    /// Earliest tree-release cycle still in the future, if any.
+    fn next_release(&self, cycle: u64) -> Option<u64> {
+        self.tree_release.iter().copied().filter(|&r| r > cycle).min()
     }
 }
 #[cfg(test)]
@@ -1444,5 +1638,124 @@ mod tests {
         assert!(r.completed);
         assert_eq!(r.mismatches, 0);
         assert_eq!(r.tree_completion[1], 0);
+    }
+
+    fn two_tenant_setup(m1: u64, m2: u64) -> (Graph, Vec<RootedTree>, Workload) {
+        let g = cycle_graph(6);
+        let path: Vec<u32> = (0..6).collect();
+        let t1 = RootedTree::from_path(&path, 0).unwrap();
+        let t2 = RootedTree::from_path(&path, 5).unwrap();
+        let w = Workload::concat(
+            6,
+            &[
+                crate::workload::JobSegment::full(m1, crate::workload::ReduceKind::WrappingU64),
+                crate::workload::JobSegment::full(m2, crate::workload::ReduceKind::WrappingU64),
+            ],
+        );
+        (g, vec![t1, t2], w)
+    }
+
+    #[test]
+    fn run_jobs_single_binding_matches_plain_run() {
+        // One binding released at 0 is exactly run() plus job accounting.
+        let g = cycle_graph(6);
+        let path: Vec<u32> = (0..6).collect();
+        let t = RootedTree::from_path(&path, 3).unwrap();
+        let m = 300;
+        let emb = MultiTreeEmbedding::new(&g, &[t], &[m]);
+        let w = Workload::new(6, m);
+        let plain = Simulator::new(&g, &emb, SimConfig::default()).run(&w);
+        let jr = Simulator::new(&g, &emb, SimConfig::default())
+            .run_jobs(&w, &[JobBinding { trees: 0..1, release: 0 }]);
+        assert_eq!(jr.report, plain);
+        assert_eq!(jr.jobs.len(), 1);
+        assert_eq!(jr.jobs[0].elems, m);
+        assert_eq!(jr.jobs[0].deliveries, m * 6);
+        assert_eq!(jr.jobs[0].completion, plain.cycles);
+        assert_eq!(jr.jobs[0].mismatches, 0);
+    }
+
+    #[test]
+    fn concurrent_jobs_track_separate_completions() {
+        let (m1, m2) = (400u64, 100u64);
+        let (g, trees, w) = two_tenant_setup(m1, m2);
+        let emb =
+            MultiTreeEmbedding::with_offsets(&g, &trees, &[m1, m2], &[0, m1]);
+        let jr = Simulator::new(&g, &emb, SimConfig::default()).run_jobs(
+            &w,
+            &[
+                JobBinding { trees: 0..1, release: 0 },
+                JobBinding { trees: 1..2, release: 0 },
+            ],
+        );
+        assert!(jr.report.completed);
+        assert_eq!(jr.report.mismatches, 0);
+        for j in &jr.jobs {
+            assert_eq!(j.mismatches, 0);
+            assert!(j.completion > 0);
+            assert!(j.first_delivery > 0 && j.first_delivery <= j.completion);
+        }
+        // The shorter job finishes first under fair channel sharing.
+        assert!(jr.jobs[1].completion < jr.jobs[0].completion);
+        assert_eq!(jr.jobs[0].deliveries, m1 * 6);
+        assert_eq!(jr.jobs[1].deliveries, m2 * 6);
+    }
+
+    #[test]
+    fn job_value_hash_is_schedule_invariant() {
+        // The same job reduced solo, on the same trees and global element
+        // offsets, yields the identical digest as in the concurrent run.
+        let (m1, m2) = (250u64, 130u64);
+        let (g, trees, w) = two_tenant_setup(m1, m2);
+        let emb = MultiTreeEmbedding::with_offsets(&g, &trees, &[m1, m2], &[0, m1]);
+        let both = Simulator::new(&g, &emb, SimConfig::default()).run_jobs(
+            &w,
+            &[
+                JobBinding { trees: 0..1, release: 0 },
+                JobBinding { trees: 1..2, release: 0 },
+            ],
+        );
+        let solo1 = MultiTreeEmbedding::with_offsets(&g, &trees[..1], &[m1], &[0]);
+        let solo2 = MultiTreeEmbedding::with_offsets(&g, &trees[1..], &[m2], &[m1]);
+        let r1 = Simulator::new(&g, &solo1, SimConfig::default())
+            .run_jobs(&w, &[JobBinding { trees: 0..1, release: 0 }]);
+        let r2 = Simulator::new(&g, &solo2, SimConfig::default())
+            .run_jobs(&w, &[JobBinding { trees: 0..1, release: 0 }]);
+        assert_eq!(both.jobs[0].value_hash, r1.jobs[0].value_hash);
+        assert_eq!(both.jobs[1].value_hash, r2.jobs[0].value_hash);
+        assert_ne!(both.jobs[0].value_hash, both.jobs[1].value_hash);
+        assert_eq!(both.report.mismatches, 0);
+    }
+
+    #[test]
+    fn release_cycle_delays_a_job() {
+        let (m1, m2) = (200u64, 200u64);
+        let (g, trees, w) = two_tenant_setup(m1, m2);
+        let emb = MultiTreeEmbedding::with_offsets(&g, &trees, &[m1, m2], &[0, m1]);
+        let release = 5000u64; // far after job 0 would finish alone
+        let jr = Simulator::new(&g, &emb, SimConfig::default()).run_jobs(
+            &w,
+            &[
+                JobBinding { trees: 0..1, release: 0 },
+                JobBinding { trees: 1..2, release },
+            ],
+        );
+        assert!(jr.report.completed);
+        assert_eq!(jr.report.mismatches, 0);
+        assert!(jr.jobs[0].completion < release);
+        assert!(jr.jobs[1].first_delivery >= release);
+        // The engine must skip the idle gap, not tick through it: the
+        // delayed job still finishes promptly after its release.
+        assert!(jr.jobs[1].completion < release + 2 * jr.jobs[0].completion + 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn run_jobs_rejects_gapped_bindings() {
+        let (m1, m2) = (50u64, 50u64);
+        let (g, trees, w) = two_tenant_setup(m1, m2);
+        let emb = MultiTreeEmbedding::with_offsets(&g, &trees, &[m1, m2], &[0, m1]);
+        let _ = Simulator::new(&g, &emb, SimConfig::default())
+            .run_jobs(&w, &[JobBinding { trees: 1..2, release: 0 }]);
     }
 }

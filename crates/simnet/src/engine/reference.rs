@@ -50,7 +50,10 @@ pub(super) fn run(
 ) -> (SimReport, Option<TraceReport>, Option<FaultReport>) {
     let Simulator { emb, cfg, tracer, faults } = sim;
     assert_eq!(w.nodes(), emb.num_nodes);
-    assert_eq!(w.len(), emb.total_len);
+    assert!(
+        w.len() >= emb.elem_end(),
+        "workload must cover every tree slice's global element range"
+    );
 
     let n = emb.num_nodes as usize;
     let mut engines: Vec<Vec<Engine>> = emb
@@ -235,11 +238,11 @@ pub(super) fn run(
                         let ins: Vec<u32> = eng.reduce_in.clone();
                         for s in ins {
                             let x = streams[s as usize].recvq.pop_front().unwrap();
-                            acc = w.combine(acc, x);
+                            acc = w.combine_at(tree.offset + elem, acc, x);
                         }
                         let eng = &engines[ti][v as usize];
                         if is_root {
-                            if !w.value_close(acc, w.expected(tree.offset + elem)) {
+                            if !w.value_close_at(tree.offset + elem, acc, w.expected(tree.offset + elem)) {
                                 mismatches += 1;
                             }
                             if kind == Collective::Allreduce {
@@ -315,7 +318,7 @@ pub(super) fn run(
                             let val = streams[bin as usize].recvq.pop_front().unwrap();
                             let eng = &mut engines[ti][v as usize];
                             let elem = eng.delivered;
-                            if !w.value_close(val, expected(elem)) {
+                            if !w.value_close_at(tree.offset + elem, val, expected(elem)) {
                                 mismatches += 1;
                             }
                             let outs: Vec<u32> = eng.bcast_out.clone();

@@ -49,10 +49,12 @@ pub mod trace;
 pub mod workload;
 
 pub use embedding::MultiTreeEmbedding;
-pub use engine::{Collective, FaultedRun, SimConfig, SimReport, Simulator};
+pub use engine::{
+    Collective, FaultedRun, JobBinding, JobOutcome, JobsRun, SimConfig, SimReport, Simulator,
+};
 pub use faults::{
     run_with_recovery, DetectionConfig, FaultEvent, FaultKind, FaultReport, FaultSchedule,
     FaultTarget, RecoveryOutcome, RecoveryRound,
 };
-pub use trace::{FaultTraceRow, TraceConfig, TraceReport};
-pub use workload::Workload;
+pub use trace::{FaultTraceRow, JobTraceRow, TraceConfig, TraceReport};
+pub use workload::{JobSegment, ReduceKind, Workload};

@@ -164,6 +164,33 @@ pub struct FaultTraceRow {
     pub detail: u64,
 }
 
+/// One tenant's scheduling record in a multi-job run, as filled in by the
+/// `pf-sched` scheduler. Appears in the trace's `jobs` table; like the
+/// `faults` table it postdates the original v1 writer, is absent from
+/// single-job traces and optional on parse, so the `pf-simnet-trace-v1`
+/// schema tag is unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobTraceRow {
+    /// Job id (unique within the scheduler run).
+    pub job: u32,
+    /// Cycle the job entered the arrival queue.
+    pub arrival: u64,
+    /// Cycle the admission controller admitted it into a wave.
+    pub admit: u64,
+    /// Cycle its engines were released (work could begin).
+    pub start: u64,
+    /// Cycle its last element was delivered to every sink.
+    pub finish: u64,
+    /// The job's vector length.
+    pub elems: u64,
+    /// Number of spanning trees allocated to it.
+    pub trees: u32,
+    /// `start - arrival`.
+    pub queueing_delay: u64,
+    /// `elems / (finish - start)` in elements per cycle.
+    pub achieved_bandwidth: f64,
+}
+
 /// One sample of global progress (taken every
 /// [`TraceConfig::timeline_interval`] cycles and at completion).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -197,6 +224,9 @@ pub struct TraceReport {
     /// Fault-layer actions (empty unless faults were injected; see
     /// [`crate::faults`] and `docs/FAULTS.md`).
     pub faults: Vec<FaultTraceRow>,
+    /// Per-tenant scheduling records (empty unless the trace came from a
+    /// `pf-sched` multi-job wave; see `docs/SCHEDULER.md`).
+    pub jobs: Vec<JobTraceRow>,
 }
 
 impl TraceReport {
@@ -310,6 +340,25 @@ impl TraceReport {
                 f.cycle, f.action, f.target_kind, f.target, f.detail,
             ));
         }
+        s.push_str("],\"jobs\":[");
+        for (i, j) in self.jobs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"job\":{},\"arrival\":{},\"admit\":{},\"start\":{},\"finish\":{},\
+                 \"elems\":{},\"trees\":{},\"queueing_delay\":{},\"achieved_bandwidth\":{}}}",
+                j.job,
+                j.arrival,
+                j.admit,
+                j.start,
+                j.finish,
+                j.elems,
+                j.trees,
+                j.queueing_delay,
+                json_f64(j.achieved_bandwidth),
+            ));
+        }
         s.push_str("]}");
         s
     }
@@ -407,6 +456,27 @@ impl TraceReport {
                 })
             })
             .collect::<Result<_, String>>()?;
+        // The jobs table likewise postdates the original v1 writer: absent
+        // means the trace came from a single-job run — not an error.
+        let jobs = obj
+            .get_array_opt("jobs")?
+            .unwrap_or(&[])
+            .iter()
+            .map(|j| {
+                let j = j.as_object()?;
+                Ok(JobTraceRow {
+                    job: j.get_u64("job")? as u32,
+                    arrival: j.get_u64("arrival")?,
+                    admit: j.get_u64("admit")?,
+                    start: j.get_u64("start")?,
+                    finish: j.get_u64("finish")?,
+                    elems: j.get_u64("elems")?,
+                    trees: j.get_u64("trees")? as u32,
+                    queueing_delay: j.get_u64("queueing_delay")?,
+                    achieved_bandwidth: j.get_f64("achieved_bandwidth")?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
         Ok(TraceReport {
             cycles: obj.get_u64("cycles")?,
             total_flits: obj.get_u64("total_flits")?,
@@ -415,6 +485,7 @@ impl TraceReport {
             routers,
             timeline,
             faults,
+            jobs,
         })
     }
 
@@ -507,6 +578,28 @@ impl TraceReport {
             s.push_str(&format!(
                 "{},{},{},{},{}\n",
                 f.cycle, f.action, f.target_kind, f.target, f.detail
+            ));
+        }
+        s
+    }
+
+    /// Per-tenant scheduling records as CSV (header included).
+    pub fn jobs_csv(&self) -> String {
+        let mut s = String::from(
+            "job,arrival,admit,start,finish,elems,trees,queueing_delay,achieved_bandwidth\n",
+        );
+        for j in &self.jobs {
+            s.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                j.job,
+                j.arrival,
+                j.admit,
+                j.start,
+                j.finish,
+                j.elems,
+                j.trees,
+                j.queueing_delay,
+                json_f64(j.achieved_bandwidth),
             ));
         }
         s
@@ -743,6 +836,7 @@ impl Tracer {
             routers,
             timeline: self.timeline,
             faults: Vec::new(),
+            jobs: Vec::new(),
         }
     }
 }
@@ -999,6 +1093,17 @@ mod tests {
                 target: 0,
                 detail: 0,
             }],
+            jobs: vec![JobTraceRow {
+                job: 0,
+                arrival: 0,
+                admit: 0,
+                start: 0,
+                finish: 90,
+                elems: 20,
+                trees: 2,
+                queueing_delay: 0,
+                achieved_bandwidth: 20.0 / 90.0,
+            }],
         }
     }
 
@@ -1054,6 +1159,18 @@ mod tests {
     }
 
     #[test]
+    fn traces_without_a_jobs_table_still_parse() {
+        // A trace written before multi-tenant scheduling has no "jobs"
+        // key; it must parse to an empty table.
+        let mut r = sample_report();
+        r.jobs.clear();
+        let j = r.to_json().replace(",\"jobs\":[]", "");
+        assert!(!j.contains("\"jobs\""));
+        let parsed = TraceReport::from_json(&j).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
     fn csv_outputs_are_rectangular() {
         let r = sample_report();
         for csv in [
@@ -1062,6 +1179,7 @@ mod tests {
             r.routers_csv(),
             r.timeline_csv(),
             r.faults_csv(),
+            r.jobs_csv(),
         ] {
             let mut lines = csv.lines();
             let cols = lines.next().unwrap().split(',').count();

@@ -1,0 +1,85 @@
+//! Multi-tenant scheduling: several allreduce jobs sharing one PolarFly
+//! fabric by running on disjoint subsets of the plan's spanning trees.
+//!
+//! ```text
+//! cargo run --release --example multi_tenant -- [q] [jobs]
+//! ```
+//!
+//! Submits a small deterministic job stream (staggered arrivals, mixed
+//! sizes and operators, one priority burst) to the wave-based scheduler
+//! under each admission policy, and prints the per-job records plus the
+//! fairness summary. The tree allocator guarantees the combined per-edge
+//! congestion of everything running at once never exceeds the plan's own
+//! Theorem 7.6 / 7.19 bound — see `docs/SCHEDULER.md`.
+
+use pf_allreduce::AllreducePlan;
+use pf_sched::{JobSpec, Policy, SchedConfig, Scheduler};
+use pf_simnet::ReduceKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let q: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let njobs: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let plan = AllreducePlan::low_depth(q).expect("valid PolarFly order");
+    println!(
+        "ER_{q}: {} routers, {} spanning trees, congestion bound {}\n",
+        plan.num_nodes(),
+        plan.trees.len(),
+        plan.max_congestion
+    );
+
+    // A deterministic stream: arrivals every 400 cycles, sizes cycling
+    // through three decades, every third job float, one late urgent job.
+    let mut specs: Vec<JobSpec> = (0..njobs)
+        .map(|i| {
+            let mut s = JobSpec::new(i, u64::from(i) * 400, 64 << (i % 3));
+            if i % 3 == 2 {
+                s.kind = ReduceKind::FloatF64;
+            }
+            s
+        })
+        .collect();
+    specs.push(JobSpec {
+        priority: 3,
+        ..JobSpec::new(njobs, 600, 32)
+    });
+
+    for policy in [
+        Policy::Fifo,
+        Policy::ShortestJobFirst,
+        Policy::Priority { aging: 512 },
+    ] {
+        let cfg = SchedConfig { policy, max_concurrent: 3, ..SchedConfig::default() };
+        let report = Scheduler::new(&plan, cfg).run(&specs).expect("stream is valid");
+        assert_eq!(report.mismatches, 0, "every job's reduction must validate");
+
+        println!("policy {:10} ({} waves):", policy.label(), report.waves.len());
+        println!(
+            "  {:>3} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6}  trees",
+            "job", "arrival", "start", "finish", "latency", "queue", "elems"
+        );
+        for j in &report.jobs {
+            println!(
+                "  {:>3} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6}  {:?}",
+                j.spec.id,
+                j.spec.arrival,
+                j.start,
+                j.finish,
+                j.latency(),
+                j.queueing_delay(),
+                j.spec.elems,
+                j.trees
+            );
+        }
+        println!(
+            "  makespan {}  jain {:.4}  p50 {}  p99 {}  peak combined congestion {}/{}\n",
+            report.makespan,
+            report.fairness.jain_index,
+            report.fairness.p50_latency,
+            report.fairness.p99_latency,
+            report.max_combined_congestion,
+            report.congestion_bound
+        );
+    }
+}
