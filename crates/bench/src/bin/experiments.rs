@@ -21,6 +21,7 @@
 //!   sim-faults      fault injection: bandwidth vs failed links (recovery)
 //!   perf-snapshot   engine throughput vs the reference stepper -> JSON
 //!   sched-sweep     multi-tenant offered-load sweep -> BENCH_sched.json
+//!   collectives     sharded-training collectives vs host rings -> JSON
 //!   all             everything above
 //! ```
 
@@ -96,6 +97,19 @@ fn main() {
                 std::path::Path::new(out),
             );
         }
+        "collectives" => {
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("BENCH_collectives.json");
+            pf_bench::collectives::print_collectives(
+                &sim_qs,
+                opt_u64("--m", 4_000),
+                std::path::Path::new(out),
+            );
+        }
         "sched-sweep" => {
             let out = args
                 .iter()
@@ -147,7 +161,7 @@ fn main() {
             eprintln!("known: table1 fig1 fig2 table2 fig4 fig5a fig5b disjoint-sweep totient");
             eprintln!(
                 "       sim-bandwidth sim-crossover sim-split sim-buffers perf-snapshot \
-                 sched-sweep all"
+                 sched-sweep collectives all"
             );
             std::process::exit(2);
         }
@@ -178,6 +192,7 @@ fn main() {
             "sim-injection",
             "sim-faults",
             "sched-sweep",
+            "collectives",
             "evenq-search",
             "torus-compare",
             "starters",

@@ -348,8 +348,14 @@ pub fn summarize(points: &[PerfPoint]) -> Vec<QSummary> {
 }
 
 /// Serializes the sweep as `pf-bench-simnet-perf-v1` JSON (schema in
-/// `docs/PERFORMANCE.md`).
-pub fn to_json(points: &[PerfPoint]) -> String {
+/// `docs/PERFORMANCE.md`). `collectives` is the byte-deterministic
+/// sharded-training regime (see [`crate::collectives`]), embedded under
+/// its own key so the wall-clock points stay separate from the
+/// cycle-exact rows.
+pub fn to_json(
+    points: &[PerfPoint],
+    collectives: &[crate::collectives::CollectivePoint],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"pf-bench-simnet-perf-v1\",\n  \"summary\": [\n");
     let summary = summarize(points);
@@ -383,6 +389,8 @@ pub fn to_json(points: &[PerfPoint]) -> String {
         }
         out.push_str(&format!("    ]}}{}\n", if i + 1 < points.len() { "," } else { "" }));
     }
+    out.push_str("  ],\n  \"collectives\": [\n");
+    out.push_str(&crate::collectives::rows_json(collectives, "    "));
     out.push_str("  ]\n}\n");
     out
 }
@@ -412,7 +420,8 @@ pub fn print_perf_snapshot(qs: &[u64], m: u64, out: &Path) {
     for s in summarize(&points) {
         println!("q={:<3} allreduce speedup (geomean over regimes): {:.2}x", s.q, s.allreduce_speedup);
     }
-    std::fs::write(out, to_json(&points)).expect("write BENCH_simnet.json");
+    let collectives = crate::collectives::collect(qs, m);
+    std::fs::write(out, to_json(&points, &collectives)).expect("write BENCH_simnet.json");
     println!("wrote {}", out.display());
 }
 
@@ -440,9 +449,12 @@ mod tests {
         assert_eq!(summary.len(), 1);
         assert_eq!(summary[0].q, 3);
         assert!(summary[0].allreduce_speedup > 0.0);
-        let json = to_json(&points);
+        let collectives = crate::collectives::collect(&[3], 400);
+        let json = to_json(&points, &collectives);
         assert!(json.contains("pf-bench-simnet-perf-v1"));
         assert!(json.contains("\"regime\": \"latency\""));
         assert!(json.contains("\"allreduce_speedup\""));
+        assert!(json.contains("\"collectives\": ["));
+        assert!(json.contains("\"collective\": \"allgather\""));
     }
 }

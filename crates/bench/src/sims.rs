@@ -379,7 +379,7 @@ pub fn print_starters(q: u64) {
 }
 
 /// Collective variants on the same embedding: allreduce vs reduce vs
-/// broadcast.
+/// broadcast vs the sharded-training halves (reduce-scatter, allgather).
 pub fn print_sim_collectives(q: u64, m: u64) {
     use pf_simnet::engine::Collective;
     crate::print_header(&format!("SIM: collective variants on the edge-disjoint trees, q = {q}"));
@@ -387,20 +387,19 @@ pub fn print_sim_collectives(q: u64, m: u64) {
     let sizes = plan.split(m);
     let emb = MultiTreeEmbedding::new(&plan.graph, &plan.trees, &sizes);
     let w = Workload::new(plan.graph.num_vertices(), m);
-    println!("{:>12} {:>10} {:>12} {:>10}", "collective", "cycles", "el/cycle", "latency");
-    for (name, kind) in [
-        ("allreduce", Collective::Allreduce),
-        ("reduce", Collective::Reduce),
-        ("broadcast", Collective::Broadcast),
-    ] {
+    println!("{:>15} {:>10} {:>12} {:>10}", "collective", "cycles", "el/cycle", "latency");
+    for kind in Collective::ALL {
         let r = Simulator::new(&plan.graph, &emb, SimConfig::default()).run_collective(&w, kind);
-        assert!(r.completed && r.mismatches == 0, "{name}");
+        assert!(r.completed && r.mismatches == 0, "{}", kind.name());
         println!(
-            "{:>12} {:>10} {:>12.3} {:>10}",
-            name, r.cycles, r.measured_bandwidth, r.first_element_latency
+            "{:>15} {:>10} {:>12.3} {:>10}",
+            kind.name(),
+            r.cycles,
+            r.measured_bandwidth,
+            r.first_element_latency
         );
     }
-    println!("(reduce and broadcast each stream one direction; allreduce pipelines both)");
+    println!("(one-phase collectives stream one direction; allreduce pipelines both)");
 }
 
 /// Ablation: physically-embedded trees vs SHARP-style logically-defined

@@ -172,12 +172,36 @@ impl AllreducePlan {
     /// walks through why measured bandwidth lands below the Theorem 5.1
     /// asymptote at finite `m`).
     pub fn predicted_cycles(&self, m: u64, hop_latency: u64) -> u64 {
+        self.predicted_phase_cycles(m, hop_latency, 2)
+    }
+
+    /// Cycle-level prediction of an `m`-element reduce-scatter: the same
+    /// Algorithm 1 split as the allreduce, but each tree runs only the
+    /// reduce-up phase ([`perf::predicted_reduce_scatter_tree_cycles`]) —
+    /// half the allreduce's traffic volume, half its pipeline fill, and a
+    /// drain at the recovered single-direction rate `min(2·b_i, 1)`
+    /// (the Theorem 7.6/7.19 share with the down-direction idle).
+    pub fn predicted_reduce_scatter_cycles(&self, m: u64, hop_latency: u64) -> u64 {
+        self.predicted_phase_cycles(m, hop_latency, 1)
+    }
+
+    /// Cycle-level prediction of an `m`-element allgather: the
+    /// broadcast-down mirror of
+    /// [`AllreducePlan::predicted_reduce_scatter_cycles`], with the
+    /// identical formula (each tree moves its slice down once).
+    pub fn predicted_allgather_cycles(&self, m: u64, hop_latency: u64) -> u64 {
+        self.predicted_phase_cycles(m, hop_latency, 1)
+    }
+
+    fn predicted_phase_cycles(&self, m: u64, hop_latency: u64, phases: u64) -> u64 {
         let sizes = self.split(m);
         self.trees
             .iter()
             .zip(&sizes)
             .zip(&self.bandwidths)
-            .map(|((t, &mi), &bi)| perf::predicted_tree_cycles(t.depth(), hop_latency, mi, bi))
+            .map(|((t, &mi), &bi)| {
+                perf::predicted_tree_phase_cycles(phases, t.depth(), hop_latency, mi, bi)
+            })
             .max()
             .unwrap_or(0)
     }

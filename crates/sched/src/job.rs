@@ -1,8 +1,9 @@
 //! Job descriptions and per-job scheduling records.
 
-use pf_simnet::ReduceKind;
+use pf_simnet::{Collective, ReduceKind};
 
-/// One allreduce job submitted to the scheduler.
+/// One collective job submitted to the scheduler (an allreduce unless
+/// [`JobSpec::collective`] says otherwise).
 #[derive(Debug, Clone)]
 pub struct JobSpec {
     /// Caller-chosen id, unique within one scheduler run.
@@ -20,10 +21,15 @@ pub struct JobSpec {
     /// still relay — spanning trees span — but contribute the operator's
     /// identity and are excluded from the expected reduction.
     pub participants: Option<Vec<u32>>,
+    /// Which collective this job runs. The engine executes one collective
+    /// per multi-job run, so the admission controller keeps each wave
+    /// homogeneous: a wave admits only jobs of the collective its first
+    /// candidate carries, and other kinds wait for a later wave.
+    pub collective: Collective,
 }
 
 impl JobSpec {
-    /// A full-fabric wrapping-`u64` job — the common case.
+    /// A full-fabric wrapping-`u64` allreduce job — the common case.
     #[must_use]
     pub fn new(id: u32, arrival: u64, elems: u64) -> Self {
         JobSpec {
@@ -33,6 +39,7 @@ impl JobSpec {
             kind: ReduceKind::WrappingU64,
             priority: 0,
             participants: None,
+            collective: Collective::Allreduce,
         }
     }
 }

@@ -15,8 +15,8 @@
 use pf_allreduce::AllreducePlan;
 use pf_graph::RootedTree;
 use pf_simnet::{
-    run_with_recovery, FaultSchedule, JobBinding, JobSegment, JobTraceRow, SimConfig, Simulator,
-    TraceConfig, TraceReport, Workload,
+    run_collective_with_recovery, Collective, FaultSchedule, JobBinding, JobSegment, JobTraceRow,
+    SimConfig, Simulator, TraceConfig, TraceReport, Workload,
 };
 
 use crate::alloc::TreeAllocator;
@@ -132,6 +132,7 @@ fn job_trace_row(r: &JobRecord) -> JobTraceRow {
         trees: r.trees.len() as u32,
         queueing_delay: r.queueing_delay(),
         achieved_bandwidth: r.achieved_bandwidth(),
+        collective: r.spec.collective.name().to_string(),
     }
 }
 
@@ -170,7 +171,7 @@ impl<'a> Scheduler<'a> {
     /// When detection aborts a wave, the unaffected tenants re-run
     /// untouched on their original tree subsets and releases, and only
     /// the tenants whose trees use a detected link (or any tenant, on a
-    /// router fault) go through [`run_with_recovery`].
+    /// router fault) go through [`run_collective_with_recovery`].
     pub fn run_faulted(
         &self,
         specs: &[JobSpec],
@@ -219,12 +220,18 @@ impl<'a> Scheduler<'a> {
 
             let admitted = self.admit_wave(specs, &mut pending, now, &mut max_comb);
             debug_assert!(!admitted.is_empty(), "a wave always admits at least one job");
+            let kind = specs[admitted[0].idx].collective;
+            debug_assert!(
+                admitted.iter().all(|a| specs[a.idx].collective == kind),
+                "waves are homogeneous in collective"
+            );
 
             let wave_cycles = self.execute_wave(
                 &w,
                 specs,
                 &global_off,
                 &admitted,
+                kind,
                 now,
                 schedule,
                 &mut records,
@@ -254,6 +261,10 @@ impl<'a> Scheduler<'a> {
     /// depth: with `k` admission slots still open and `f` free trees,
     /// the next job receives `max(min_trees, f / k)` trees, so a lone
     /// job gets the whole fabric and a full queue splits it evenly.
+    ///
+    /// Waves are homogeneous in collective: the first job admitted fixes
+    /// the wave's kind (one engine run executes one collective), and
+    /// jobs of other kinds stay pending for a later wave.
     fn admit_wave(
         &self,
         specs: &[JobSpec],
@@ -265,20 +276,23 @@ impl<'a> Scheduler<'a> {
         let mut alloc = TreeAllocator::new(self.plan);
         let mut admitted: Vec<Admitted> = Vec::new();
         let horizon = now.saturating_add(cfg.lookahead);
+        let mut wave_kind: Option<Collective> = None;
 
         while admitted.len() < cfg.max_concurrent && alloc.free_trees() >= cfg.min_trees {
+            let wk = wave_kind;
+            let fits = move |i: usize| wk.is_none_or(|k| specs[i].collective == k);
             // Prefer jobs that have arrived (policy order); otherwise pull
             // the earliest upcoming arrival within the lookahead window.
             let arrived: Vec<(usize, &JobSpec)> = pending
                 .iter()
-                .filter(|&&i| specs[i].arrival <= now)
+                .filter(|&&i| specs[i].arrival <= now && fits(i))
                 .map(|&i| (i, &specs[i]))
                 .collect();
             let chosen = if arrived.is_empty() {
                 let upcoming = pending
                     .iter()
                     .copied()
-                    .filter(|&i| specs[i].arrival <= horizon)
+                    .filter(|&i| specs[i].arrival <= horizon && fits(i))
                     .min_by_key(|&i| (specs[i].arrival, specs[i].id));
                 match upcoming {
                     Some(i) => i,
@@ -287,10 +301,14 @@ impl<'a> Scheduler<'a> {
             } else {
                 arrived[cfg.policy.pick(&arrived, now)].0
             };
+            wave_kind = Some(specs[chosen].collective);
 
             // Rebalance: split the free trees over the slots the visible
-            // queue can actually fill.
-            let visible = pending.iter().filter(|&&i| specs[i].arrival <= horizon).count();
+            // queue can actually fill (only same-kind jobs can fill them).
+            let visible = pending
+                .iter()
+                .filter(|&&i| specs[i].arrival <= horizon && fits(i))
+                .count();
             let slots = (cfg.max_concurrent - admitted.len()).min(visible).max(1);
             let want = (alloc.free_trees() / slots).max(cfg.min_trees);
             let trees = alloc.allocate(want).expect("want ≤ free by construction");
@@ -315,6 +333,7 @@ impl<'a> Scheduler<'a> {
         specs: &[JobSpec],
         global_off: &[u64],
         admitted: &[Admitted],
+        kind: Collective,
         base: u64,
         schedule: Option<&FaultSchedule>,
         records: &mut [Option<JobRecord>],
@@ -355,7 +374,7 @@ impl<'a> Scheduler<'a> {
             if let Some(ws) = &wsched {
                 sim = sim.with_faults(&self.plan.graph, ws.clone());
             }
-            let run = sim.run_jobs(w, &bindings);
+            let run = sim.run_jobs_collective(w, &bindings, kind);
             if wave_trace.is_none() {
                 wave_trace = run.trace;
             }
@@ -409,10 +428,11 @@ impl<'a> Scheduler<'a> {
                 .expect("detection implies an attached schedule");
             for adm in hit {
                 let sub = self.plan.tree_subset(&adm.trees);
-                let outcome = run_with_recovery(&sub, specs[adm.idx].elems, cfg.sim, ws)
-                    .map_err(|e| {
-                        format!("recovery of job {} failed: {e}", specs[adm.idx].id)
-                    })?;
+                let outcome =
+                    run_collective_with_recovery(&sub, specs[adm.idx].elems, cfg.sim, ws, kind)
+                        .map_err(|e| {
+                            format!("recovery of job {} failed: {e}", specs[adm.idx].id)
+                        })?;
                 let cost = adm.release + outcome.total_cycles;
                 wave_cycles = wave_cycles.max(cost);
                 records[adm.idx] = Some(JobRecord {
@@ -743,6 +763,57 @@ mod tests {
         assert_eq!(r.events[0].cycle, 10);
         assert_eq!(r.events[1].cycle, 0);
         assert_eq!(r.events[1].duration, Some(470));
+    }
+
+    #[test]
+    fn mixed_collectives_run_in_homogeneous_waves() {
+        let p = plan();
+        let cfg = SchedConfig { max_concurrent: 4, ..SchedConfig::default() };
+        let s = Scheduler::new(&p, cfg);
+        // Four same-time jobs, alternating collectives. With 4 slots one
+        // wave could hold them all, but kinds must not mix: the admission
+        // controller splits them into one wave per collective.
+        let specs: Vec<JobSpec> = [
+            Collective::ReduceScatter,
+            Collective::Allgather,
+            Collective::ReduceScatter,
+            Collective::Allgather,
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| JobSpec { collective: c, ..JobSpec::new(i as u32, 0, 48) })
+        .collect();
+        let r = s.run(&specs).unwrap();
+
+        assert_eq!(r.waves.len(), 2, "one wave per collective kind");
+        for wave in &r.waves {
+            let kinds: std::collections::BTreeSet<&str> = wave
+                .jobs
+                .iter()
+                .map(|&id| {
+                    r.jobs.iter().find(|j| j.spec.id == id).unwrap().spec.collective.name()
+                })
+                .collect();
+            assert_eq!(kinds.len(), 1, "wave {} mixes collectives", wave.index);
+        }
+        assert_eq!(r.mismatches, 0);
+        for row in r.trace_rows() {
+            let spec = &specs[row.job as usize];
+            assert_eq!(row.collective, spec.collective.name());
+        }
+    }
+
+    #[test]
+    fn collective_jobs_complete_for_every_kind() {
+        let p = plan();
+        let s = Scheduler::new(&p, SchedConfig::default());
+        for kind in Collective::ALL {
+            let spec = JobSpec { collective: kind, ..JobSpec::new(0, 0, 64) };
+            let r = s.run(&[spec]).unwrap();
+            assert_eq!(r.mismatches, 0, "{} job mismatched", kind.name());
+            assert_eq!(r.jobs[0].spec.collective, kind);
+            assert!(r.makespan > 0);
+        }
     }
 
     #[test]

@@ -10,12 +10,13 @@
 //! `PartialEq` (covers the ordered `FaultTraceRow` action log, so retry
 //! and detection cycle stamps must match exactly).
 //!
-//! The matrix spans the paper's radixes (q ∈ {3, 5, 7, 9, 11}), all three
-//! collectives, low-depth and edge-disjoint plans, per-router /
-//! per-node caps, tracing on/off, and fault schedules (permanent,
-//! transient-healing, degraded, router) — the cases where cycle skipping,
-//! active sets and lazy budgets could plausibly diverge from the
-//! per-cycle full-scan semantics.
+//! The matrix spans the paper's radixes (q ∈ {3, 5, 7, 9, 11}), all five
+//! collectives (allreduce, reduce, broadcast and the sharded-training
+//! reduce-scatter / allgather pair), low-depth and edge-disjoint plans,
+//! per-router / per-node caps, tracing on/off, and fault schedules
+//! (permanent, transient-healing, degraded, router) — the cases where
+//! cycle skipping, active sets and lazy budgets could plausibly diverge
+//! from the per-cycle full-scan semantics.
 
 use crate::embedding::MultiTreeEmbedding;
 use crate::engine::{Collective, SimConfig, Simulator};
@@ -78,8 +79,7 @@ fn used_edge(plan: &AllreducePlan) -> u32 {
     plan.edge_congestion.iter().position(|&c| c > 0).expect("plan uses an edge") as u32
 }
 
-const COLLECTIVES: [Collective; 3] =
-    [Collective::Allreduce, Collective::Reduce, Collective::Broadcast];
+const COLLECTIVES: [Collective; 5] = Collective::ALL;
 
 #[test]
 fn low_depth_all_radixes_all_collectives() {
@@ -124,6 +124,11 @@ fn capped_runs_match() {
         let mut case = Case::new(plan.clone(), 400);
         case.cfg = caps;
         case.assert_identical(Collective::Allreduce, label);
+        // The sharded pair splits the cap pressure: reduce-scatter leans
+        // on the engine/injection budgets, allgather on neither (no
+        // reductions) — both must still match cycle-for-cycle.
+        case.assert_identical(Collective::ReduceScatter, &format!("{label} reduce_scatter"));
+        case.assert_identical(Collective::Allgather, &format!("{label} allgather"));
     }
 }
 
@@ -251,6 +256,49 @@ fn faulted_runs_match() {
 }
 
 #[test]
+fn faulted_sharded_collectives_match() {
+    // The new collectives under fault schedules: a healing transient (the
+    // frozen-wire arrival path), a permanent outage with detection, and a
+    // dead router — for both halves of the sharded-training pair.
+    let plan = AllreducePlan::low_depth(7).unwrap();
+    let e = used_edge(&plan);
+    let schedules: Vec<(FaultSchedule, &str)> = vec![
+        (
+            FaultSchedule {
+                events: vec![FaultEvent {
+                    cycle: 50,
+                    target: FaultTarget::Link(e),
+                    kind: FaultKind::Down,
+                    duration: Some(40),
+                }],
+                detection: DetectionConfig::default(),
+            },
+            "transient link",
+        ),
+        (FaultSchedule::permanent_links(&[e], 50), "permanent link"),
+        (
+            FaultSchedule {
+                events: vec![FaultEvent {
+                    cycle: 30,
+                    target: FaultTarget::Router(3),
+                    kind: FaultKind::Down,
+                    duration: None,
+                }],
+                detection: DetectionConfig::default(),
+            },
+            "router down",
+        ),
+    ];
+    for (schedule, label) in schedules {
+        for kind in [Collective::ReduceScatter, Collective::Allgather] {
+            let mut case = Case::new(plan.clone(), 1_500);
+            case.faults = Some(schedule.clone());
+            case.assert_identical(kind, &format!("{label} {kind:?}"));
+        }
+    }
+}
+
+#[test]
 fn traced_faulted_runs_match() {
     // The full stack: tracer rows, fault rows, and the fault table folded
     // into the trace must all serialize to the same bytes.
@@ -260,6 +308,8 @@ fn traced_faulted_runs_match() {
     case.trace = Some(TraceConfig::counters());
     case.faults = Some(FaultSchedule::permanent_links(&[e], 50));
     case.assert_identical(Collective::Allreduce, "traced + permanent fault");
+    case.assert_identical(Collective::ReduceScatter, "traced + fault reduce_scatter");
+    case.assert_identical(Collective::Allgather, "traced + fault allgather");
 }
 
 #[test]

@@ -95,7 +95,16 @@ impl Default for SimConfig {
 }
 
 /// Which collective the engines execute over the embedded trees.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The sharded-training pair decomposes an allreduce the way ZeRO/FSDP
+/// decomposes a training step: [`Collective::ReduceScatter`] runs the
+/// reduce-up phase and leaves each tree's reduced slice with its owner
+/// shard (the tree root), [`Collective::Allgather`] broadcasts each
+/// shard's already-reduced slice back down to every node. Composing the
+/// two delivers exactly what one [`Collective::Allreduce`] delivers
+/// (property-tested via [`SimReport::value_digest`] in
+/// `tests/collective_props.rs`; semantics in `docs/COLLECTIVES.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Collective {
     /// Reduce up + broadcast down: every node gets the global reduction.
     Allreduce,
@@ -103,9 +112,81 @@ pub enum Collective {
     Reduce,
     /// Broadcast down only: the roots' own slices reach every node.
     Broadcast,
+    /// Reduce up only, sharded delivery: each tree's slice of the global
+    /// reduction ends at that tree's root — the shard that owns it. Same
+    /// dataflow as [`Collective::Reduce`]; a distinct collective because
+    /// it is priced, traced and scheduled as half of a sharded allreduce.
+    ReduceScatter,
+    /// Broadcast down of per-shard *reduced* contributions: each root
+    /// injects its slice of the global reduction (the state a preceding
+    /// reduce-scatter left it with) and every node receives it.
+    Allgather,
 }
 
-/// Result of one simulated allreduce.
+impl Collective {
+    /// Every collective the engines implement, in a stable order.
+    pub const ALL: [Collective; 5] = [
+        Collective::Allreduce,
+        Collective::Reduce,
+        Collective::Broadcast,
+        Collective::ReduceScatter,
+        Collective::Allgather,
+    ];
+
+    /// Does this collective run the reduce-up phase (reduction engines
+    /// fire, child streams are combined toward the root)?
+    #[must_use]
+    pub fn reduces(self) -> bool {
+        matches!(self, Collective::Allreduce | Collective::Reduce | Collective::ReduceScatter)
+    }
+
+    /// Does this collective run the broadcast-down phase (relays forward
+    /// values from parent to children)?
+    #[must_use]
+    pub fn broadcasts(self) -> bool {
+        matches!(self, Collective::Allreduce | Collective::Broadcast | Collective::Allgather)
+    }
+
+    /// Does the tree root *originate* the down phase from local state
+    /// (rather than turning the reduction around, as allreduce does)?
+    #[must_use]
+    pub fn root_sources_broadcast(self) -> bool {
+        matches!(self, Collective::Broadcast | Collective::Allgather)
+    }
+
+    /// How many sinks each tree's slice is delivered to: every node, or
+    /// only the root shard.
+    #[must_use]
+    pub fn sinks_per_tree(self, n: u64) -> u64 {
+        if self.broadcasts() {
+            n
+        } else {
+            1
+        }
+    }
+
+    /// The stable snake_case name used by the `pf-simnet-trace-v1` schema
+    /// (`collective` fields) and the bench tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Collective::Allreduce => "allreduce",
+            Collective::Reduce => "reduce",
+            Collective::Broadcast => "broadcast",
+            Collective::ReduceScatter => "reduce_scatter",
+            Collective::Allgather => "allgather",
+        }
+    }
+
+    /// Inverse of [`Collective::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Collective> {
+        Collective::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// Result of one simulated collective (allreduce by default; see
+/// [`Collective`] for the full set).
 ///
 /// `PartialEq` is derived so tests can assert that enabling tracing leaves
 /// the simulation bit-identical.
@@ -120,6 +201,13 @@ pub struct SimReport {
     /// Elements whose delivered value disagreed with the expected
     /// reduction (must be 0).
     pub mismatches: u64,
+    /// Order-independent digest of every `(sink node, global element,
+    /// delivered value)` triple — the wrapping sum of
+    /// [`delivery_digest_entry`] over all deliveries. Two collectives
+    /// delivering the same values to the same sinks produce the same
+    /// digest regardless of timing, which is how the composition suite
+    /// proves reduce-scatter∘allgather ≡ allreduce.
+    pub value_digest: u64,
     /// Aggregate goodput in elements/cycle: `total_elems / cycles`.
     pub measured_bandwidth: f64,
     /// Completion cycle per tree (last delivery of its slice).
@@ -305,6 +393,18 @@ impl<'a> Simulator<'a> {
     /// [`Simulator::run`] plus per-job accounting: same `SimReport`,
     /// byte-identical engine decisions.
     pub fn run_jobs(self, w: &Workload, bindings: &[JobBinding]) -> JobsRun {
+        self.run_jobs_collective(w, bindings, Collective::Allreduce)
+    }
+
+    /// Like [`Simulator::run_jobs`] for an arbitrary collective: every job
+    /// in the wave executes the same `kind` over its own tree range (the
+    /// scheduler groups admissions so a wave is homogeneous).
+    pub fn run_jobs_collective(
+        self,
+        w: &Workload,
+        bindings: &[JobBinding],
+        kind: Collective,
+    ) -> JobsRun {
         assert!(!bindings.is_empty(), "at least one job binding");
         let ntrees = self.emb.trees.len();
         let mut next = 0usize;
@@ -316,8 +416,7 @@ impl<'a> Simulator<'a> {
             next = b.trees.end;
         }
         assert_eq!(next, ntrees, "job bindings must cover every embedded tree");
-        let (report, trace, faults, jobs) =
-            self.run_inner_jobs(w, Collective::Allreduce, Some(bindings));
+        let (report, trace, faults, jobs) = self.run_inner_jobs(w, kind, Some(bindings));
         JobsRun { report, trace, faults: faults.unwrap_or_else(FaultReport::quiet), jobs }
     }
 
@@ -427,6 +526,9 @@ impl<'a> Simulator<'a> {
             tr.sample_timeline(cycle, st.deliveries); // final sample (timeline runs only)
             tr.finish(emb, cycle)
         });
+        if let Some(t) = trace.as_mut() {
+            t.collective = kind.name().to_string();
+        }
         if let (Some(t), Some(fr)) = (trace.as_mut(), fault_report.as_ref()) {
             t.faults = fr.records.clone();
         }
@@ -435,6 +537,7 @@ impl<'a> Simulator<'a> {
             total_elems: emb.total_len,
             completed,
             mismatches: st.mismatches,
+            value_digest: st.value_digest,
             measured_bandwidth: emb.total_len as f64 / cycle.max(1) as f64,
             tree_completion: st.tree_completion,
             first_element_latency: st.first_element_latency,
@@ -466,6 +569,21 @@ fn hash_entry(elem: u64, val: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// The digest entry one delivery contributes to
+/// [`SimReport::value_digest`]: a nested `hash_entry` over the sink
+/// node, the global element id, and the delivered value (raw `u64`
+/// payload — float workloads contribute their bit patterns).
+///
+/// Exposed so tests can reconstruct the digest a collective *should*
+/// produce (e.g. a reduce-scatter delivers `(root(t), offset+e,
+/// expected(offset+e))` for every tree `t` and slice element `e`) and
+/// compare it against the engine's.
+#[inline]
+#[must_use]
+pub fn delivery_digest_entry(node: u64, elem: u64, val: u64) -> u64 {
+    hash_entry(node, hash_entry(elem, val))
 }
 
 /// Sentinel for "no stream wired here" in the flat dataflow arrays.
@@ -573,6 +691,7 @@ struct RunState {
     first_element_latency: u64,
     deliveries: u64,
     mismatches: u64,
+    value_digest: u64,
     tree_completion: Vec<u64>,
     tree_deliveries: Vec<u64>,
     channel_flits: Vec<u64>,
@@ -656,10 +775,7 @@ impl RunState {
             }
         }
 
-        let per_tree_sinks = match kind {
-            Collective::Allreduce | Collective::Broadcast => emb.num_nodes as u64,
-            Collective::Reduce => 1,
-        };
+        let per_tree_sinks = kind.sinks_per_tree(emb.num_nodes as u64);
         let total_deliveries: u64 = emb.trees.iter().map(|t| t.len * per_tree_sinks).sum();
         let live_pairs: u64 = emb
             .trees
@@ -787,6 +903,7 @@ impl RunState {
             first_element_latency: 0,
             deliveries: 0,
             mismatches: 0,
+            value_digest: 0,
             tree_completion: vec![0; ntrees],
             tree_deliveries: vec![0; ntrees],
             channel_flits: vec![0; nchans],
@@ -969,8 +1086,8 @@ impl RunState {
         let kind = self.kind;
         let mut rearm = false;
 
-        // -- Reduction engine (allreduce / reduce) --
-        if kind != Collective::Broadcast && self.reduced[p] < len {
+        // -- Reduction engine (allreduce / reduce / reduce-scatter) --
+        if kind.reduces() && self.reduced[p] < len {
             let engine_free = match self.cfg.max_reductions_per_router {
                 None => true,
                 Some(cap) => {
@@ -1055,7 +1172,7 @@ impl RunState {
                             self.sendq_push(s, acc);
                         }
                     }
-                    self.deliver(ti, p, cycle);
+                    self.deliver(ti, p, cycle, acc);
                 } else {
                     let s = self.reduce_out[p] as usize;
                     self.sendq_push(s, acc);
@@ -1068,8 +1185,8 @@ impl RunState {
             }
         }
 
-        // -- Broadcast source (pure broadcast only) --
-        if kind == Collective::Broadcast && is_root && self.delivered[p] < len {
+        // -- Broadcast source (broadcast / allgather root) --
+        if kind.root_sources_broadcast() && is_root && self.delivered[p] < len {
             let out_lo = self.bcast_out_off[p] as usize;
             let out_hi = self.bcast_out_off[p + 1] as usize;
             let space = (out_lo..out_hi)
@@ -1083,19 +1200,30 @@ impl RunState {
             }
             if space {
                 let elem = self.delivered[p];
-                let val = w.input(v as u32, offset + elem);
+                // A broadcast root sends its own contribution; an allgather
+                // root sends its slice of the global reduction — the state a
+                // preceding reduce-scatter left it with.
+                let val = match kind {
+                    Collective::Broadcast => w.input(v as u32, offset + elem),
+                    _ => w.expected(offset + elem),
+                };
+                if self.track_jobs {
+                    let j = self.tree_job[ti] as usize;
+                    self.job_hash[j] =
+                        self.job_hash[j].wrapping_add(hash_entry(offset + elem, val));
+                }
                 for i in out_lo..out_hi {
                     let s = self.out_ids[i] as usize;
                     self.sendq_push(s, val);
                 }
-                self.deliver(ti, p, cycle);
+                self.deliver(ti, p, cycle, val);
                 self.progress = true;
                 rearm = true;
             }
         }
 
-        // -- Broadcast relay (allreduce + broadcast) --
-        if kind != Collective::Reduce {
+        // -- Broadcast relay (allreduce / broadcast / allgather) --
+        if kind.broadcasts() {
             let bin = self.bcast_in[p];
             if bin != NONE {
                 let bin = bin as usize;
@@ -1137,7 +1265,7 @@ impl RunState {
                         let s = self.out_ids[i] as usize;
                         self.sendq_push(s, val);
                     }
-                    self.deliver(ti, p, cycle);
+                    self.deliver(ti, p, cycle, val);
                     self.progress = true;
                     rearm = true;
                 }
@@ -1147,9 +1275,14 @@ impl RunState {
         rearm
     }
 
-    /// Records one element delivered at pair `p` of tree `ti`.
+    /// Records one element (carrying `val`) delivered at pair `p` of tree
+    /// `ti`.
     #[inline]
-    fn deliver(&mut self, ti: usize, p: usize, cycle: u64) {
+    fn deliver(&mut self, ti: usize, p: usize, cycle: u64, val: u64) {
+        let node = (p - ti * self.n) as u64;
+        let elem = self.tree_off[ti] + self.delivered[p];
+        self.value_digest =
+            self.value_digest.wrapping_add(delivery_digest_entry(node, elem, val));
         self.delivered[p] += 1;
         if self.delivered[p] == 1 {
             self.first_done_pairs += 1;

@@ -97,12 +97,9 @@ pub(super) fn run(
     let mut channel_flits = vec![0u64; emb.channel_streams.len()];
     let mut max_vc_occupancy = 0usize;
 
-    // Deliveries per tree: every node for allreduce/broadcast, the root
-    // only for reduce.
-    let per_tree_sinks = match kind {
-        Collective::Allreduce | Collective::Broadcast => emb.num_nodes as u64,
-        Collective::Reduce => 1,
-    };
+    // Deliveries per tree: every node when the collective broadcasts
+    // down, the root shard only for reduce / reduce-scatter.
+    let per_tree_sinks = kind.sinks_per_tree(emb.num_nodes as u64);
     let total_deliveries: u64 = emb.trees.iter().map(|t| t.len * per_tree_sinks).sum();
     let live_pairs: u64 = emb
         .trees
@@ -113,6 +110,7 @@ pub(super) fn run(
     let mut first_element_latency = 0u64;
     let mut deliveries = 0u64;
     let mut mismatches = 0u64;
+    let mut value_digest = 0u64;
     let mut tree_completion = vec![0u64; emb.trees.len()];
     let mut tree_deliveries = vec![0u64; emb.trees.len()];
     let mut engine_budget = vec![0u32; n];
@@ -160,26 +158,35 @@ pub(super) fn run(
                 continue;
             }
             // The broadcast's expected payload: the global reduction for
-            // allreduce, the root's own input for a pure broadcast.
+            // allreduce/allgather, the root's own input for a pure
+            // broadcast.
             let expected = |elem: u64| match kind {
                 Collective::Broadcast => w.input(tree.root, tree.offset + elem),
                 _ => w.expected(tree.offset + elem),
             };
-            let mut deliver =
-                |eng: &mut Engine, deliveries: &mut u64, tree_deliveries: &mut [u64]| {
-                    eng.delivered += 1;
-                    if eng.delivered == 1 {
-                        first_done_pairs += 1;
-                        if first_done_pairs == live_pairs {
-                            first_element_latency = cycle;
-                        }
+            let mut deliver = |eng: &mut Engine,
+                               node: u32,
+                               val: u64,
+                               deliveries: &mut u64,
+                               tree_deliveries: &mut [u64]| {
+                value_digest = value_digest.wrapping_add(super::delivery_digest_entry(
+                    node as u64,
+                    tree.offset + eng.delivered,
+                    val,
+                ));
+                eng.delivered += 1;
+                if eng.delivered == 1 {
+                    first_done_pairs += 1;
+                    if first_done_pairs == live_pairs {
+                        first_element_latency = cycle;
                     }
-                    *deliveries += 1;
-                    tree_deliveries[ti] += 1;
-                    if tree_deliveries[ti] == tree.len * per_tree_sinks {
-                        tree_completion[ti] = cycle;
-                    }
-                };
+                }
+                *deliveries += 1;
+                tree_deliveries[ti] += 1;
+                if tree_deliveries[ti] == tree.len * per_tree_sinks {
+                    tree_completion[ti] = cycle;
+                }
+            };
             for v in 0..emb.num_nodes {
                 // A dead router's engines and relays are halted.
                 if faults.as_ref().is_some_and(|f| f.router_is_down(v as usize)) {
@@ -187,9 +194,9 @@ pub(super) fn run(
                 }
                 let is_root = tree.root == v;
 
-                // -- Reduction engine (allreduce / reduce) --
+                // -- Reduction engine (allreduce / reduce / reduce-scatter) --
                 let eng = &engines[ti][v as usize];
-                if kind != Collective::Broadcast && eng.reduced < tree.len {
+                if kind.reduces() && eng.reduced < tree.len {
                     let engine_free =
                         cfg.max_reductions_per_router.is_none() || engine_budget[v as usize] > 0;
                     let inject_free =
@@ -253,6 +260,8 @@ pub(super) fn run(
                             }
                             deliver(
                                 &mut engines[ti][v as usize],
+                                v,
+                                acc,
                                 &mut deliveries,
                                 &mut tree_deliveries,
                             );
@@ -263,9 +272,9 @@ pub(super) fn run(
                     }
                 }
 
-                // -- Broadcast source (pure broadcast only) --
+                // -- Broadcast source (broadcast / allgather root) --
                 let eng = &engines[ti][v as usize];
-                if kind == Collective::Broadcast && is_root && eng.delivered < tree.len {
+                if kind.root_sources_broadcast() && is_root && eng.delivered < tree.len {
                     let space = eng
                         .bcast_out
                         .iter()
@@ -280,18 +289,25 @@ pub(super) fn run(
                     if space {
                         let eng = &mut engines[ti][v as usize];
                         let elem = eng.delivered;
-                        let val = w.input(v, tree.offset + elem);
+                        // A broadcast root sends its own contribution; an
+                        // allgather root sends its slice of the global
+                        // reduction — the state a preceding reduce-scatter
+                        // left it with.
+                        let val = match kind {
+                            Collective::Broadcast => w.input(v, tree.offset + elem),
+                            _ => w.expected(tree.offset + elem),
+                        };
                         let outs: Vec<u32> = eng.bcast_out.clone();
                         for s in outs {
                             streams[s as usize].sendq.push_back(val);
                         }
-                        deliver(eng, &mut deliveries, &mut tree_deliveries);
+                        deliver(eng, v, val, &mut deliveries, &mut tree_deliveries);
                     }
                 }
 
-                // -- Broadcast relay (allreduce + broadcast) --
+                // -- Broadcast relay (allreduce / broadcast / allgather) --
                 let eng = &engines[ti][v as usize];
-                if kind != Collective::Reduce {
+                if kind.broadcasts() {
                     if let Some(bin) = eng.bcast_in {
                         let input_ready = !streams[bin as usize].recvq.is_empty();
                         let out_ok = eng
@@ -325,7 +341,7 @@ pub(super) fn run(
                             for s in outs {
                                 streams[s as usize].sendq.push_back(val);
                             }
-                            deliver(eng, &mut deliveries, &mut tree_deliveries);
+                            deliver(eng, v, val, &mut deliveries, &mut tree_deliveries);
                         }
                     }
                 }
@@ -421,6 +437,9 @@ pub(super) fn run(
         tr.sample_timeline(cycle, deliveries); // final sample (timeline runs only)
         tr.finish(emb, cycle)
     });
+    if let Some(t) = trace.as_mut() {
+        t.collective = kind.name().to_string();
+    }
     if let (Some(t), Some(fr)) = (trace.as_mut(), fault_report.as_ref()) {
         t.faults = fr.records.clone();
     }
@@ -429,6 +448,7 @@ pub(super) fn run(
         total_elems: emb.total_len,
         completed,
         mismatches,
+        value_digest,
         measured_bandwidth: emb.total_len as f64 / cycle.max(1) as f64,
         tree_completion,
         first_element_latency,

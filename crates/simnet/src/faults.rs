@@ -646,6 +646,19 @@ pub fn run_with_recovery(
     cfg: SimConfig,
     schedule: &FaultSchedule,
 ) -> Result<RecoveryOutcome, String> {
+    run_collective_with_recovery(plan, m, cfg, schedule, crate::engine::Collective::Allreduce)
+}
+
+/// Like [`run_with_recovery`] for an arbitrary collective: every recovery
+/// attempt (on the healthy and each degraded plan) re-runs the same
+/// collective kind.
+pub fn run_collective_with_recovery(
+    plan: &AllreducePlan,
+    m: u64,
+    cfg: SimConfig,
+    schedule: &FaultSchedule,
+    kind: crate::engine::Collective,
+) -> Result<RecoveryOutcome, String> {
     let mut fault_set = FaultSet::none();
     let mut degraded: Option<DegradedPlan> = None;
     let mut rounds: Vec<RecoveryRound> = Vec::new();
@@ -662,7 +675,7 @@ pub fn run_with_recovery(
         let w = Workload::new(graph.num_vertices(), m);
         let run = Simulator::new(graph, &emb, cfg)
             .with_faults(graph, round_schedule)
-            .run_faulted(&w);
+            .run_collective_faulted(&w, kind);
 
         total_cycles += run.report.cycles;
 

@@ -59,7 +59,8 @@ pub fn ring_allreduce_time(g: &Graph, routing: &Routing, m: u64, p: HostParams) 
 /// whole schedule.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RingProfile {
-    /// Number of rounds (`2(N-1)`).
+    /// Number of rounds: `2(N-1)` for the full allreduce, `(N-1)` for a
+    /// lone reduce-scatter or allgather phase.
     pub rounds: u64,
     /// Congestion profile of the representative round.
     pub round: PhaseProfile,
@@ -77,6 +78,20 @@ pub fn ring_allreduce_profile(
     m: u64,
     p: HostParams,
 ) -> Option<RingProfile> {
+    ring_phase_profile(g, routing, m, p, 2)
+}
+
+/// The shared ring-phase arithmetic: every round of a ring collective
+/// moves the same `⌈m/N⌉`-chunk neighbor pattern, and a full allreduce is
+/// two back-to-back `(N-1)`-round phases (`rounds_per_phase` 1 for a
+/// single phase, 2 for the allreduce).
+fn ring_phase_profile(
+    g: &Graph,
+    routing: &Routing,
+    m: u64,
+    p: HostParams,
+    phases: u64,
+) -> Option<RingProfile> {
     let n = g.num_vertices() as u64;
     if n <= 1 || m == 0 {
         return None;
@@ -85,9 +100,52 @@ pub fn ring_allreduce_profile(
     let messages: Vec<(VertexId, VertexId, u64)> =
         (0..n as u32).map(|i| (i, (i + 1) % n as u32, chunk)).collect();
     let round = phase_profile(g, routing, &messages, p.hop_latency);
-    let rounds = 2 * (n - 1);
+    let rounds = phases * (n - 1);
     let total = rounds * (round.time() + p.phase_overhead);
     Some(RingProfile { rounds, round, round_overhead: p.phase_overhead, total })
+}
+
+/// Ring reduce-scatter: the first phase of [`ring_allreduce_time`] on its
+/// own — `(N-1)` rounds, each node passing a reduced `⌈m/N⌉` chunk to its
+/// ring successor, after which node `i` holds slice `i` of the global
+/// reduction. Exactly half the allreduce's rounds (and, round pattern
+/// being identical, exactly half its time), which is what makes the ring
+/// the like-for-like host-based baseline for the in-network
+/// `Collective::ReduceScatter`.
+pub fn ring_reduce_scatter_time(g: &Graph, routing: &Routing, m: u64, p: HostParams) -> u64 {
+    ring_reduce_scatter_profile(g, routing, m, p).map_or(0, |pr| pr.total)
+}
+
+/// Profiled variant of [`ring_reduce_scatter_time`] (identical
+/// arithmetic). Returns `None` for degenerate inputs where the time is 0.
+pub fn ring_reduce_scatter_profile(
+    g: &Graph,
+    routing: &Routing,
+    m: u64,
+    p: HostParams,
+) -> Option<RingProfile> {
+    ring_phase_profile(g, routing, m, p, 1)
+}
+
+/// Ring allgather: the second phase of [`ring_allreduce_time`] on its own
+/// — `(N-1)` rounds circulating the already-reduced slices until every
+/// node holds the full `m`-element result. The round pattern is the
+/// mirror image of the reduce-scatter's and costs the same, so
+/// `ring_reduce_scatter_time + ring_allgather_time == ring_allreduce_time`
+/// (pinned by a unit test).
+pub fn ring_allgather_time(g: &Graph, routing: &Routing, m: u64, p: HostParams) -> u64 {
+    ring_allgather_profile(g, routing, m, p).map_or(0, |pr| pr.total)
+}
+
+/// Profiled variant of [`ring_allgather_time`] (identical arithmetic).
+/// Returns `None` for degenerate inputs where the time is 0.
+pub fn ring_allgather_profile(
+    g: &Graph,
+    routing: &Routing,
+    m: u64,
+    p: HostParams,
+) -> Option<RingProfile> {
+    ring_phase_profile(g, routing, m, p, 1)
 }
 
 /// Recursive doubling: pre/post rounds fold non-power-of-two stragglers
@@ -441,5 +499,61 @@ mod tests {
         let m = 130;
         let diff = ring_allreduce_time(&g, &r, m, p1) - ring_allreduce_time(&g, &r, m, p0);
         assert_eq!(diff, 2 * (n - 1) * 1000);
+    }
+
+    #[test]
+    fn ring_phases_compose_into_the_allreduce() {
+        // The defining formula: reduce-scatter and allgather are each one
+        // (N-1)-round phase of the 2(N-1)-round ring allreduce, with the
+        // identical per-round pattern, so their times sum exactly.
+        for q in [3u64, 5] {
+            let (g, r) = setup(q);
+            let p = HostParams::default();
+            for m in [1u64, 130, 1300, 99_991] {
+                let rs = ring_reduce_scatter_time(&g, &r, m, p);
+                let ag = ring_allgather_time(&g, &r, m, p);
+                let ar = ring_allreduce_time(&g, &r, m, p);
+                assert_eq!(rs + ag, ar, "q={q} m={m}");
+                assert_eq!(rs, ag, "mirrored phases cost the same");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_phase_profiles_pin_the_cycle_formula() {
+        let (g, r) = setup(3); // N = 13
+        let n = g.num_vertices() as u64;
+        let p = HostParams::default();
+        let m = 1300;
+        for (prof, time) in [
+            (ring_reduce_scatter_profile(&g, &r, m, p), ring_reduce_scatter_time(&g, &r, m, p)),
+            (ring_allgather_profile(&g, &r, m, p), ring_allgather_time(&g, &r, m, p)),
+        ] {
+            let prof = prof.unwrap();
+            assert_eq!(prof.rounds, n - 1);
+            assert_eq!(prof.total, time);
+            assert_eq!(prof.total, prof.rounds * (prof.round.time() + prof.round_overhead));
+            assert_eq!(prof.round_overhead, p.phase_overhead);
+            assert!(prof.round.active_channels() > 0);
+        }
+        // Degenerate inputs profile to None / time 0.
+        assert!(ring_reduce_scatter_profile(&g, &r, 0, p).is_none());
+        assert!(ring_allgather_profile(&g, &r, 0, p).is_none());
+        assert_eq!(ring_reduce_scatter_time(&g, &r, 0, p), 0);
+        assert_eq!(ring_allgather_time(&g, &r, 0, p), 0);
+    }
+
+    #[test]
+    fn ring_phase_overhead_charged_per_round() {
+        let (g, r) = setup(3);
+        let p0 = HostParams { hop_latency: 1, phase_overhead: 0 };
+        let p1 = HostParams { hop_latency: 1, phase_overhead: 1000 };
+        let n = g.num_vertices() as u64;
+        let m = 130;
+        let diff =
+            ring_reduce_scatter_time(&g, &r, m, p1) - ring_reduce_scatter_time(&g, &r, m, p0);
+        assert_eq!(diff, (n - 1) * 1000);
+        let diff = ring_allgather_time(&g, &r, m, p1) - ring_allgather_time(&g, &r, m, p0);
+        assert_eq!(diff, (n - 1) * 1000);
     }
 }

@@ -18,6 +18,11 @@
 //!   link rate (the paper's "multiple reductions at link rate" assumption),
 //!   and the root turns the reduced stream around into a broadcast.
 //!
+//! The same machinery executes the full collective family — allreduce,
+//! reduce, broadcast, and the sharded-training pair reduce-scatter /
+//! allgather ([`engine::Collective`]; semantics and pricing in
+//! `docs/COLLECTIVES.md`).
+//!
 //! The simulator checks numerical correctness of every delivered element
 //! and reports cycle counts, per-tree goodput and per-channel utilization,
 //! which the experiments compare against the Algorithm 1 predictions. The
@@ -50,11 +55,12 @@ pub mod workload;
 
 pub use embedding::MultiTreeEmbedding;
 pub use engine::{
-    Collective, FaultedRun, JobBinding, JobOutcome, JobsRun, SimConfig, SimReport, Simulator,
+    delivery_digest_entry, Collective, FaultedRun, JobBinding, JobOutcome, JobsRun, SimConfig,
+    SimReport, Simulator,
 };
 pub use faults::{
-    run_with_recovery, DetectionConfig, FaultEvent, FaultKind, FaultReport, FaultSchedule,
-    FaultTarget, RecoveryOutcome, RecoveryRound,
+    run_collective_with_recovery, run_with_recovery, DetectionConfig, FaultEvent, FaultKind,
+    FaultReport, FaultSchedule, FaultTarget, RecoveryOutcome, RecoveryRound,
 };
 pub use trace::{FaultTraceRow, JobTraceRow, TraceConfig, TraceReport};
 pub use workload::{JobSegment, ReduceKind, Workload};

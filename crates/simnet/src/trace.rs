@@ -189,6 +189,11 @@ pub struct JobTraceRow {
     pub queueing_delay: u64,
     /// `elems / (finish - start)` in elements per cycle.
     pub achieved_bandwidth: f64,
+    /// The collective this job executed ([`crate::Collective::name`]:
+    /// `"allreduce"`, `"reduce"`, `"broadcast"`, `"reduce_scatter"` or
+    /// `"allgather"`). Absent in pre-collective traces and optional on
+    /// parse, defaulting to `"allreduce"`.
+    pub collective: String,
 }
 
 /// One sample of global progress (taken every
@@ -213,6 +218,12 @@ pub struct TraceReport {
     pub cycles: u64,
     /// Total flits transmitted.
     pub total_flits: u64,
+    /// The collective the traced run executed
+    /// ([`crate::Collective::name`]). Absent in pre-collective traces and
+    /// optional on parse, defaulting to `"allreduce"` — so the
+    /// `pf-simnet-trace-v1` schema tag is unchanged, like the `faults` and
+    /// `jobs` tables.
+    pub collective: String,
     /// One row per directed channel.
     pub channels: Vec<ChannelTrace>,
     /// One row per logical stream.
@@ -258,6 +269,7 @@ impl TraceReport {
         s.push_str("{\"schema\":\"pf-simnet-trace-v1\"");
         s.push_str(&format!(",\"cycles\":{}", self.cycles));
         s.push_str(&format!(",\"total_flits\":{}", self.total_flits));
+        s.push_str(&format!(",\"collective\":\"{}\"", self.collective));
         s.push_str(",\"channels\":[");
         for (i, c) in self.channels.iter().enumerate() {
             if i > 0 {
@@ -347,7 +359,8 @@ impl TraceReport {
             }
             s.push_str(&format!(
                 "{{\"job\":{},\"arrival\":{},\"admit\":{},\"start\":{},\"finish\":{},\
-                 \"elems\":{},\"trees\":{},\"queueing_delay\":{},\"achieved_bandwidth\":{}}}",
+                 \"elems\":{},\"trees\":{},\"queueing_delay\":{},\"achieved_bandwidth\":{},\
+                 \"collective\":\"{}\"}}",
                 j.job,
                 j.arrival,
                 j.admit,
@@ -357,6 +370,7 @@ impl TraceReport {
                 j.trees,
                 j.queueing_delay,
                 json_f64(j.achieved_bandwidth),
+                j.collective,
             ));
         }
         s.push_str("]}");
@@ -474,12 +488,15 @@ impl TraceReport {
                     trees: j.get_u64("trees")? as u32,
                     queueing_delay: j.get_u64("queueing_delay")?,
                     achieved_bandwidth: j.get_f64("achieved_bandwidth")?,
+                    collective: j.get_str_opt("collective")?.unwrap_or("allreduce").to_string(),
                 })
             })
             .collect::<Result<_, String>>()?;
         Ok(TraceReport {
             cycles: obj.get_u64("cycles")?,
             total_flits: obj.get_u64("total_flits")?,
+            // Absent in pre-collective traces: default, don't error.
+            collective: obj.get_str_opt("collective")?.unwrap_or("allreduce").to_string(),
             channels,
             streams,
             routers,
@@ -586,11 +603,12 @@ impl TraceReport {
     /// Per-tenant scheduling records as CSV (header included).
     pub fn jobs_csv(&self) -> String {
         let mut s = String::from(
-            "job,arrival,admit,start,finish,elems,trees,queueing_delay,achieved_bandwidth\n",
+            "job,arrival,admit,start,finish,elems,trees,queueing_delay,achieved_bandwidth,\
+             collective\n",
         );
         for j in &self.jobs {
             s.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{}\n",
                 j.job,
                 j.arrival,
                 j.admit,
@@ -600,6 +618,7 @@ impl TraceReport {
                 j.trees,
                 j.queueing_delay,
                 json_f64(j.achieved_bandwidth),
+                j.collective,
             ));
         }
         s
@@ -831,6 +850,9 @@ impl Tracer {
         TraceReport {
             cycles,
             total_flits,
+            // The engines overwrite this with the executed collective's
+            // name right after `finish` returns.
+            collective: "allreduce".to_string(),
             channels,
             streams,
             routers,
@@ -886,6 +908,15 @@ mod json {
             match self.get(key)? {
                 Value::Str(s) => Ok(s),
                 other => Err(format!("field {key:?} is not a string: {other:?}")),
+            }
+        }
+        /// Like [`Obj::get_str`], but a missing key is `Ok(None)` — for
+        /// fields added to the schema after its first release.
+        pub fn get_str_opt(&self, key: &str) -> Result<Option<&'a str>, String> {
+            match self.0.get(key) {
+                None => Ok(None),
+                Some(Value::Str(s)) => Ok(Some(s)),
+                Some(other) => Err(format!("field {key:?} is not a string: {other:?}")),
             }
         }
         pub fn get_array(&self, key: &str) -> Result<&'a [Value], String> {
@@ -1031,6 +1062,7 @@ mod tests {
         TraceReport {
             cycles: 100,
             total_flits: 42,
+            collective: "allreduce".to_string(),
             channels: vec![
                 ChannelTrace {
                     channel: 0,
@@ -1103,8 +1135,23 @@ mod tests {
                 trees: 2,
                 queueing_delay: 0,
                 achieved_bandwidth: 20.0 / 90.0,
+                collective: "allreduce".to_string(),
             }],
         }
+    }
+
+    #[test]
+    fn traces_without_collective_fields_still_parse() {
+        // A trace written before the sharded-training collectives has no
+        // "collective" key (top level or per job); both must parse to the
+        // "allreduce" default.
+        let r = sample_report();
+        let j = r
+            .to_json()
+            .replace(",\"collective\":\"allreduce\"", "");
+        assert!(!j.contains("collective"));
+        let parsed = TraceReport::from_json(&j).unwrap();
+        assert_eq!(parsed, r);
     }
 
     #[test]

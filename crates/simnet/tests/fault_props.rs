@@ -52,11 +52,7 @@ proptest! {
         m in 0u64..260,
         latency in 1u32..5,
         vc_buffer in 1usize..7,
-        kind in prop::sample::select(vec![
-            Collective::Allreduce,
-            Collective::Reduce,
-            Collective::Broadcast,
-        ]),
+        kind in prop::sample::select(Collective::ALL.to_vec()),
         never in any::<bool>(),
     ) {
         let (r1, r2) = (roots.0 % n, roots.1 % n);

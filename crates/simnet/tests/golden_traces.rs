@@ -1,0 +1,86 @@
+//! Golden-trace fixtures: committed `pf-simnet-trace-v1` dumps that the
+//! engine must reproduce byte for byte.
+//!
+//! The difftest layer proves the two engines agree with each other; this
+//! layer pins them both to history. Any change to engine scheduling,
+//! trace serialization, or the digest math shows up as a byte diff
+//! against `tests/golden/*.json` — if the change is intentional,
+//! regenerate the fixtures (and review the diff) with
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p pf-simnet --test golden_traces
+//! ```
+//!
+//! The fixtures are deliberately small: the q = 3 low-depth plan
+//! (13 nodes), a 40-element vector, and a 32-bucket timeline — one
+//! allreduce and one reduce-scatter (the sharded-training half whose
+//! trace differs most: no broadcast relays, one sink per tree).
+
+use pf_allreduce::AllreducePlan;
+use pf_simnet::engine::Collective;
+use pf_simnet::{MultiTreeEmbedding, SimConfig, Simulator, TraceConfig, TraceReport, Workload};
+use std::path::{Path, PathBuf};
+
+const M: u64 = 40;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn golden_trace(kind: Collective) -> TraceReport {
+    let plan = AllreducePlan::low_depth(3).expect("q = 3");
+    let sizes = plan.split(M);
+    let emb = MultiTreeEmbedding::new(&plan.graph, &plan.trees, &sizes);
+    let w = Workload::new(plan.graph.num_vertices(), M);
+    let (report, trace) = Simulator::new(&plan.graph, &emb, SimConfig::default())
+        .with_trace(TraceConfig::with_timeline(32))
+        .run_collective_traced(&w, kind);
+    assert!(report.completed && report.mismatches == 0, "{}", kind.name());
+    trace.expect("tracing was enabled")
+}
+
+fn check(kind: Collective, file: &str) {
+    let path = golden_dir().join(file);
+    let produced = golden_trace(kind).to_json();
+
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, &produced).expect("write golden fixture");
+        return;
+    }
+
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {} ({e}); regenerate with GOLDEN_REGEN=1", path.display()));
+    assert_eq!(
+        produced.into_bytes(),
+        committed.into_bytes(),
+        "{} trace diverged from {}; if intentional, regenerate with GOLDEN_REGEN=1 and review the diff",
+        kind.name(),
+        path.display()
+    );
+}
+
+#[test]
+fn allreduce_trace_matches_the_golden_fixture() {
+    check(Collective::Allreduce, "allreduce_q3.json");
+}
+
+#[test]
+fn reduce_scatter_trace_matches_the_golden_fixture() {
+    check(Collective::ReduceScatter, "reduce_scatter_q3.json");
+}
+
+/// The fixtures also pin the parser: a committed dump must round-trip
+/// through `TraceReport::from_json` back to identical bytes.
+#[test]
+fn golden_fixtures_round_trip_through_the_parser() {
+    for file in ["allreduce_q3.json", "reduce_scatter_q3.json"] {
+        let path = golden_dir().join(file);
+        let Ok(committed) = std::fs::read_to_string(&path) else {
+            // First generation: the byte-compare tests report the miss.
+            continue;
+        };
+        let parsed = TraceReport::from_json(&committed)
+            .unwrap_or_else(|e| panic!("{file} does not parse: {e}"));
+        assert_eq!(parsed.to_json(), committed, "{file} round-trip changed bytes");
+    }
+}

@@ -40,11 +40,7 @@ proptest! {
         m in 0u64..260,
         latency in 1u32..5,
         vc_buffer in 1usize..7,
-        kind in prop::sample::select(vec![
-            Collective::Allreduce,
-            Collective::Reduce,
-            Collective::Broadcast,
-        ]),
+        kind in prop::sample::select(Collective::ALL.to_vec()),
     ) {
         let (r1, r2) = (roots.0 % n, roots.1 % n);
         let (g, emb, w) = build(n, r1, r2, m);
@@ -84,20 +80,23 @@ proptest! {
         }
         let reductions: u64 = trace.routers.iter().map(|r| r.reductions).sum();
         let relays: u64 = trace.routers.iter().map(|r| r.relays).sum();
-        match kind {
-            // Every (tree, node) reduces its slice once.
-            Collective::Allreduce | Collective::Reduce => {
-                prop_assert_eq!(reductions, m * n as u64);
-            }
-            Collective::Broadcast => prop_assert_eq!(reductions, 0),
+        // Every (tree, node) of a reducing collective reduces its slice
+        // exactly once.
+        if kind.reduces() {
+            prop_assert_eq!(reductions, m * n as u64);
+        } else {
+            prop_assert_eq!(reductions, 0);
         }
         match kind {
-            Collective::Reduce => prop_assert_eq!(relays, 0),
+            Collective::Reduce | Collective::ReduceScatter => prop_assert_eq!(relays, 0),
             // Non-root nodes relay each element of each tree's slice (the
             // allreduce root's turnaround is counted as a reduction).
             Collective::Allreduce => prop_assert_eq!(relays, m * (n as u64 - 1)),
-            // A pure broadcast also counts the root's source firings.
-            Collective::Broadcast => prop_assert_eq!(relays, m * n as u64),
+            // Broadcast-down-only collectives also count the root's source
+            // firings.
+            Collective::Broadcast | Collective::Allgather => {
+                prop_assert_eq!(relays, m * n as u64);
+            }
         }
         if let Some(last) = trace.timeline.last() {
             prop_assert_eq!(last.cycle, trace.cycles);
