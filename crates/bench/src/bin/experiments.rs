@@ -19,6 +19,9 @@
 //!   sim-split       ablation: optimal vs equal sub-vector split
 //!   sim-buffers     ablation: VC buffer depth vs throughput
 //!   sim-faults      fault injection: bandwidth vs failed links (recovery)
+//!   topo-compare    constructions × substrates: trees, depth, bandwidth
+//!                   vs bound, congestion vs claim (--full for the
+//!                   nightly catalog)
 //!   perf-snapshot   engine throughput vs the reference stepper -> JSON
 //!   sched-sweep     multi-tenant offered-load sweep -> BENCH_sched.json
 //!   collectives     sharded-training collectives vs host rings -> JSON
@@ -125,6 +128,7 @@ fn main() {
             );
         }
         "evenq-search" => sims::print_evenq_search(opt_u64("--attempts", 500) as usize),
+        "topo-compare" => pf_bench::topo_compare::print_topo_compare(flag("--full")),
         "torus-compare" => sims::print_torus_compare(opt_u64("--m", 200_000)),
         "starters" => sims::print_starters(opt_u64("--q", 11)),
         "metrics" => sweeps::print_metrics(&pf_galois::prime_powers_in(3, max_q.min(32))),
@@ -194,6 +198,7 @@ fn main() {
             "sched-sweep",
             "collectives",
             "evenq-search",
+            "topo-compare",
             "torus-compare",
             "starters",
             "metrics",

@@ -15,6 +15,7 @@ pub mod sched_sweep;
 pub mod sims;
 pub mod sweeps;
 pub mod tables;
+pub mod topo_compare;
 
 /// Prints a header line followed by a rule of matching width.
 pub fn print_header(title: &str) {

@@ -20,8 +20,18 @@
 //! * [`recovery`] — degraded-plan rebuild after link/router faults:
 //!   surviving trees are kept, broken trees repaired or dropped under the
 //!   healthy congestion bound, and the bandwidth loss quantified;
+//! * [`construction`] — the pluggable [`construction::TreeConstruction`]
+//!   trait: the paper's builders as PolarFly specializations next to
+//!   generic backends (kary multitrees, greedy peeling, BFS) over any
+//!   `pf_graph::Graph` substrate;
+//! * [`starprod`] — edge-disjoint spanning trees on star products lifted
+//!   from factor-tree sets (PolarStar/Slim Fly-class substrates);
+//! * [`substrates`] — the named substrate catalog the construction
+//!   harness, paper-claims invariants and `experiments topo-compare`
+//!   share;
 //! * [`plan`] — the high-level [`plan::AllreducePlan`] facade tying it all
-//!   together.
+//!   together (see [`plan::AllreducePlan::construct`] for the
+//!   backend-driven path).
 //!
 //! # Quick example
 //!
@@ -41,6 +51,7 @@
 
 pub mod baselines;
 pub mod congestion;
+pub mod construction;
 pub mod disjoint;
 pub mod evenq;
 pub mod hamiltonian;
@@ -50,8 +61,15 @@ pub mod perf;
 pub mod plan;
 pub mod rational;
 pub mod recovery;
+pub mod starprod;
+pub mod substrates;
 pub mod verify;
 
+pub use construction::{
+    Budget, BfsSingle, ConstructError, GreedyPeel, KaryMultitree, PolarFlyHamiltonian,
+    PolarFlyLowDepth, TreeConstruction,
+};
 pub use plan::{AllreducePlan, Solution};
 pub use rational::Rational;
 pub use recovery::{rebuild_degraded, DegradedPlan, FaultSet, RebuildError};
+pub use starprod::StarProductDisjoint;

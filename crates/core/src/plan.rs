@@ -7,6 +7,7 @@
 //! type the examples, the benchmarks and the simulator consume.
 
 use crate::congestion::assign_unit_bandwidth;
+use crate::construction::{Budget, ConstructError, TreeConstruction};
 use crate::disjoint::find_edge_disjoint;
 use crate::lowdepth::low_depth_trees;
 use crate::perf;
@@ -23,6 +24,9 @@ pub enum Solution {
     EdgeDisjoint,
     /// Baseline: one BFS spanning tree (depth 2), bandwidth `B`.
     SingleTree,
+    /// A plan built through a pluggable [`TreeConstruction`] backend; the
+    /// payload is the backend's name.
+    Constructed(&'static str),
 }
 
 impl Solution {
@@ -32,6 +36,7 @@ impl Solution {
             Solution::LowDepth => "low-depth",
             Solution::EdgeDisjoint => "edge-disjoint",
             Solution::SingleTree => "single-tree",
+            Solution::Constructed(name) => name,
         }
     }
 }
@@ -109,9 +114,42 @@ impl AllreducePlan {
         Ok(Self::from_parts(q, Solution::SingleTree, pf.graph().clone(), vec![t]))
     }
 
-    /// Number of routers `N = q^2 + q + 1`.
+    /// Builds a plan over an arbitrary substrate through a pluggable
+    /// [`TreeConstruction`] backend: the backend's trees, priced with
+    /// Algorithm 1 on `g`. The plan's `solution` carries the backend name
+    /// ([`Solution::Constructed`]); `q` is 0, so the PolarFly-specific
+    /// [`AllreducePlan::optimal_bandwidth`] /
+    /// [`AllreducePlan::normalized_bandwidth`] do not apply — compare
+    /// against [`AllreducePlan::substrate_bound`] instead. Everything
+    /// downstream (simulator embedding, faults/recovery, scheduler
+    /// subsets) works on these plans unchanged.
+    pub fn construct(
+        g: &Graph,
+        backend: &dyn TreeConstruction,
+        budget: &Budget,
+    ) -> Result<Self, ConstructError> {
+        let trees = backend.build(g, budget)?;
+        for t in &trees {
+            // The harness re-checks each backend's output property by
+            // property; plan creation still refuses non-spanning sets so
+            // a buggy backend cannot reach the congestion model.
+            t.validate_spanning(g).map_err(|e| ConstructError::NoTrees(e.to_string()))?;
+        }
+        Ok(Self::from_parts(0, Solution::Constructed(backend.name()), g.clone(), trees))
+    }
+
+    /// Number of routers. For the PolarFly constructors this is
+    /// `N = q^2 + q + 1`; for [`AllreducePlan::construct`] plans it is the
+    /// substrate's order.
     pub fn num_nodes(&self) -> u64 {
-        self.q * self.q + self.q + 1
+        self.graph.num_vertices() as u64
+    }
+
+    /// Substrate-generic aggregate-bandwidth upper bound
+    /// ([`perf::substrate_bandwidth_bound`]): `min(|E|/(n−1), δ_min)`.
+    /// Holds for every plan, on every substrate, in exact rationals.
+    pub fn substrate_bound(&self) -> Rational {
+        perf::substrate_bandwidth_bound(&self.graph)
     }
 
     /// A plan over a subset of this plan's trees (by strictly increasing
@@ -394,5 +432,43 @@ mod tests {
         assert_eq!(Solution::LowDepth.label(), "low-depth");
         assert_eq!(Solution::EdgeDisjoint.label(), "edge-disjoint");
         assert_eq!(Solution::SingleTree.label(), "single-tree");
+        assert_eq!(Solution::Constructed("kary-multitree").label(), "kary-multitree");
+    }
+
+    #[test]
+    fn constructed_plan_on_a_torus() {
+        use crate::construction::{Budget, KaryMultitree};
+        let g = pf_topo::torus::Torus::new(&[4, 4]).graph().clone();
+        let plan =
+            AllreducePlan::construct(&g, &KaryMultitree { k: 2 }, &Budget::unlimited()).unwrap();
+        assert_eq!(plan.q, 0);
+        assert_eq!(plan.num_nodes(), 16);
+        assert_eq!(plan.solution.label(), "kary-multitree");
+        assert!(plan.aggregate.is_positive());
+        assert!(plan.aggregate <= plan.substrate_bound());
+        // The generic plan drives the same downstream machinery.
+        let sizes = plan.split(1000);
+        assert_eq!(sizes.iter().sum::<u64>(), 1000);
+        assert!(plan.predicted_cycles(1000, 2) > 0);
+    }
+
+    #[test]
+    fn constructed_plan_reports_typed_errors() {
+        use crate::construction::{BfsSingle, Budget, ConstructError};
+        let mut split = Graph::new(4);
+        split.add_edge(0, 1);
+        split.add_edge(2, 3);
+        let err = AllreducePlan::construct(&split, &BfsSingle, &Budget::unlimited()).unwrap_err();
+        assert_eq!(err, ConstructError::Disconnected { components: 2 });
+    }
+
+    #[test]
+    fn polarfly_constructors_survive_num_nodes_from_graph() {
+        // num_nodes now reads the graph order; for PolarFly plans that is
+        // still q² + q + 1.
+        for q in [3u64, 7] {
+            let p = AllreducePlan::low_depth(q).unwrap();
+            assert_eq!(p.num_nodes(), q * q + q + 1);
+        }
     }
 }

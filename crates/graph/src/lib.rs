@@ -11,8 +11,9 @@
 //! lean on: BFS/shortest paths ([`bfs`]), rooted spanning trees with
 //! validation ([`tree`]), random-maximal and exact maximum independent sets
 //! ([`indset`], used for the edge-disjoint Hamiltonian set search of §7.3),
-//! and a backtracking isomorphism test ([`iso`], used to verify
-//! `S_q ≅ ER_q`, Theorem 6.6).
+//! star products of factor graphs ([`product`], the PolarStar/Slim Fly-class
+//! substrate family), and a backtracking isomorphism test ([`iso`], used to
+//! verify `S_q ≅ ER_q`, Theorem 6.6).
 
 pub mod bfs;
 pub mod builders;
@@ -20,9 +21,11 @@ pub mod dsu;
 pub mod graph;
 pub mod indset;
 pub mod iso;
+pub mod product;
 pub mod subgraph;
 pub mod tree;
 
 pub use graph::{EdgeId, Graph, VertexId};
+pub use product::{cartesian_product, shifted_product, star_product, StarProduct};
 pub use subgraph::{edge_deleted, vertex_deleted, EdgeDeleted, VertexDeleted};
 pub use tree::RootedTree;

@@ -1,0 +1,216 @@
+//! Star products of graphs — the substrate family behind PolarStar and
+//! Slim Fly-class topologies (*Edge-Disjoint Spanning Trees on Star-Product
+//! Networks*, PAPERS.md).
+//!
+//! The star product `G ∗ H` has vertex set `V(G) × V(H)`. Every vertex of
+//! `G` becomes a *supernode* carrying a copy of `H` (the intra-supernode
+//! edges), and every edge `(u, v)` of `G` becomes a perfect matching
+//! between the two copies, routed through a per-edge bijection
+//! `f : V(H) → V(H)`: vertex `(u, x)` connects to `(v, f(x))`. Choosing
+//! every bijection as the identity recovers the Cartesian product
+//! `G □ H`; non-trivial bijections produce the twisted products the
+//! star-product EDST construction (`pf_allreduce::starprod`) is designed
+//! for.
+//!
+//! [`StarProduct`] keeps the factor graphs and the bijections alongside
+//! the product graph so constructions can lift factor spanning trees into
+//! the product without re-deriving the structure.
+
+use crate::graph::{EdgeId, Graph, VertexId};
+
+/// A star product `G ∗ H` with its factor structure retained.
+///
+/// Vertex `(gv, hv)` of the product is the dense id
+/// `gv * |V(H)| + hv` — supernode-major, so each supernode's copy of `H`
+/// occupies a contiguous id range.
+#[derive(Debug, Clone)]
+pub struct StarProduct {
+    product: Graph,
+    g: Graph,
+    h: Graph,
+    /// `bij[e][x]`: crossing G-edge `e` from its *lower* endpoint with
+    /// local vertex `x` lands on local vertex `bij[e][x]` at the higher
+    /// endpoint.
+    bij: Vec<Vec<VertexId>>,
+    /// Inverse of `bij` per edge (crossing from the higher endpoint).
+    inv: Vec<Vec<VertexId>>,
+}
+
+impl StarProduct {
+    /// The product graph.
+    pub fn graph(&self) -> &Graph {
+        &self.product
+    }
+
+    /// The factor graphs `(G, H)`.
+    pub fn factors(&self) -> (&Graph, &Graph) {
+        (&self.g, &self.h)
+    }
+
+    /// Product id of `(gv, hv)`.
+    pub fn vertex(&self, gv: VertexId, hv: VertexId) -> VertexId {
+        debug_assert!(gv < self.g.num_vertices() && hv < self.h.num_vertices());
+        gv * self.h.num_vertices() + hv
+    }
+
+    /// The supernode (G-coordinate) of a product vertex.
+    pub fn supernode(&self, v: VertexId) -> VertexId {
+        v / self.h.num_vertices()
+    }
+
+    /// The local (H-coordinate) of a product vertex.
+    pub fn local(&self, v: VertexId) -> VertexId {
+        v % self.h.num_vertices()
+    }
+
+    /// Crossing G-edge `e` from supernode `from` with local vertex `x`:
+    /// the local vertex reached at the other endpoint. `from` must be an
+    /// endpoint of `e`.
+    pub fn across(&self, e: EdgeId, from: VertexId, x: VertexId) -> VertexId {
+        let (lo, hi) = self.g.endpoints(e);
+        if from == lo {
+            self.bij[e as usize][x as usize]
+        } else {
+            assert_eq!(from, hi, "supernode {from} is not an endpoint of G-edge {e}");
+            self.inv[e as usize][x as usize]
+        }
+    }
+}
+
+/// Builds the star product `G ∗ H` from per-G-edge bijections.
+///
+/// `bijections[e]` maps the local vertex at the lower endpoint of G-edge
+/// `e` to the local vertex at the higher endpoint; each must be a
+/// permutation of `0..|V(H)|` (panics otherwise). Intra-supernode H-edges
+/// are added first (supernode-major), then the inter-supernode matchings
+/// in G-edge-id order — a deterministic edge-id layout.
+pub fn star_product(g: &Graph, h: &Graph, bijections: &[Vec<VertexId>]) -> StarProduct {
+    let (ng, nh) = (g.num_vertices(), h.num_vertices());
+    assert!(nh > 0, "H must have at least one vertex");
+    assert_eq!(
+        bijections.len(),
+        g.num_edges() as usize,
+        "one bijection per G-edge"
+    );
+    let mut inv = Vec::with_capacity(bijections.len());
+    for (e, f) in bijections.iter().enumerate() {
+        assert_eq!(f.len(), nh as usize, "bijection for G-edge {e} has wrong length");
+        let mut seen = vec![false; nh as usize];
+        let mut fi = vec![0; nh as usize];
+        for (x, &y) in f.iter().enumerate() {
+            assert!((y as usize) < seen.len() && !seen[y as usize],
+                "bijection for G-edge {e} is not a permutation");
+            seen[y as usize] = true;
+            fi[y as usize] = x as VertexId;
+        }
+        inv.push(fi);
+    }
+
+    let mut product = Graph::new(ng * nh);
+    for gv in 0..ng {
+        for (_, a, b) in h.edges() {
+            product.add_edge(gv * nh + a, gv * nh + b);
+        }
+    }
+    for (e, u, v) in g.edges() {
+        for x in 0..nh {
+            let y = bijections[e as usize][x as usize];
+            product.add_edge(u * nh + x, v * nh + y);
+        }
+    }
+    StarProduct { product, g: g.clone(), h: h.clone(), bij: bijections.to_vec(), inv }
+}
+
+/// The Cartesian product `G □ H`: the star product with every bijection
+/// the identity.
+pub fn cartesian_product(g: &Graph, h: &Graph) -> StarProduct {
+    let id: Vec<VertexId> = (0..h.num_vertices()).collect();
+    let bijections = vec![id; g.num_edges() as usize];
+    star_product(g, h, &bijections)
+}
+
+/// A twisted star product: G-edge `e` carries the cyclic shift
+/// `x ↦ (x + e + 1) mod |V(H)|`. Structurally a "real" star product —
+/// distinct edges twist differently — while staying deterministic.
+pub fn shifted_product(g: &Graph, h: &Graph) -> StarProduct {
+    let nh = h.num_vertices();
+    let bijections: Vec<Vec<VertexId>> = (0..g.num_edges())
+        .map(|e| (0..nh).map(|x| (x + e + 1) % nh).collect())
+        .collect();
+    star_product(g, h, &bijections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use crate::builders;
+
+    #[test]
+    fn cartesian_product_of_paths_is_a_grid() {
+        let p3 = builders::path(3);
+        let p2 = builders::path(2);
+        let sp = cartesian_product(&p3, &p2);
+        let g = sp.graph();
+        assert_eq!(g.num_vertices(), 6);
+        // 3 supernodes × 1 H-edge + 2 G-edges × 2 matchings.
+        assert_eq!(g.num_edges(), 3 + 4);
+        assert!(bfs::is_connected(g));
+        // Grid degrees: corners 2, mid-edge 3.
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.min_degree(), 2);
+    }
+
+    #[test]
+    fn coordinates_round_trip() {
+        let sp = cartesian_product(&builders::cycle(4), &builders::path(3));
+        for gv in 0..4 {
+            for hv in 0..3 {
+                let v = sp.vertex(gv, hv);
+                assert_eq!(sp.supernode(v), gv);
+                assert_eq!(sp.local(v), hv);
+            }
+        }
+    }
+
+    #[test]
+    fn across_follows_the_bijection_both_ways() {
+        let g = builders::path(2);
+        let h = builders::cycle(3);
+        let f = vec![vec![1u32, 2, 0]]; // x ↦ x+1 mod 3 on the single G-edge
+        let sp = star_product(&g, &h, &f);
+        assert_eq!(sp.across(0, 0, 0), 1);
+        assert_eq!(sp.across(0, 0, 2), 0);
+        assert_eq!(sp.across(0, 1, 1), 0); // inverse direction
+        // The product edge actually exists.
+        assert!(sp.graph().has_edge(sp.vertex(0, 0), sp.vertex(1, 1)));
+    }
+
+    #[test]
+    fn shifted_product_is_connected_and_regular_for_cycles() {
+        let sp = shifted_product(&builders::cycle(4), &builders::cycle(4));
+        let g = sp.graph();
+        assert_eq!(g.num_vertices(), 16);
+        assert_eq!(g.num_edges(), 4 * 4 + 4 * 4);
+        assert!(bfs::is_connected(g));
+        // 2 intra + 2 inter edges everywhere.
+        assert_eq!(g.min_degree(), 4);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_non_permutation_bijection() {
+        let g = builders::path(2);
+        let h = builders::path(2);
+        star_product(&g, &h, &[vec![0, 0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one bijection per G-edge")]
+    fn rejects_wrong_bijection_count() {
+        let g = builders::path(3);
+        let h = builders::path(2);
+        star_product(&g, &h, &[vec![0, 1]]);
+    }
+}

@@ -13,6 +13,11 @@ use crate::graph::{EdgeId, Graph, VertexId};
 
 /// A subgraph formed by deleting a set of edges. Vertex ids are unchanged;
 /// surviving edges are renumbered densely in original-id order.
+///
+/// The two maps are mutually inverse on survivors:
+/// `new_edge[orig_edge[n]] == Some(n)` for every new id `n`, and
+/// `orig_edge[new_edge[o].unwrap()] == o` for every surviving original id
+/// `o` — the round-trip identity `pf-graph/tests/proptests.rs` pins.
 #[derive(Debug, Clone)]
 pub struct EdgeDeleted {
     /// The surviving topology.
@@ -42,6 +47,7 @@ pub fn edge_deleted(g: &Graph, removed: &[EdgeId]) -> EdgeDeleted {
             continue;
         }
         let id = graph.add_edge(u, v);
+        debug_assert_eq!(id as usize, orig_edge.len(), "dense renumbering in original-id order");
         new_edge[e as usize] = Some(id);
         orig_edge.push(e);
     }
@@ -50,6 +56,11 @@ pub fn edge_deleted(g: &Graph, removed: &[EdgeId]) -> EdgeDeleted {
 
 /// A subgraph formed by deleting a set of vertices (and every incident
 /// edge). Survivors are renumbered densely, preserving relative order.
+///
+/// As with [`EdgeDeleted`], each forward/backward map pair composes to
+/// the identity on survivors: `new_vertex[orig_vertex[n]] == Some(n)`,
+/// `orig_vertex[new_vertex[o].unwrap()] == o`, and likewise for the edge
+/// maps.
 #[derive(Debug, Clone)]
 pub struct VertexDeleted {
     /// The surviving topology.
@@ -89,6 +100,7 @@ pub fn vertex_deleted(g: &Graph, removed: &[VertexId]) -> VertexDeleted {
     for (e, u, v) in g.edges() {
         if let (Some(nu), Some(nv)) = (new_vertex[u as usize], new_vertex[v as usize]) {
             let id = graph.add_edge(nu, nv);
+            debug_assert_eq!(id as usize, orig_edge.len(), "dense renumbering in original-id order");
             new_edge[e as usize] = Some(id);
             orig_edge.push(e);
         }

@@ -1,6 +1,6 @@
 //! Property-based tests for the graph substrate.
 
-use pf_graph::{bfs, dsu::Dsu, indset, iso, Graph, RootedTree};
+use pf_graph::{bfs, dsu::Dsu, indset, iso, subgraph, Graph, RootedTree};
 use proptest::prelude::*;
 
 /// Random connected graph: spanning-tree skeleton plus extra edges.
@@ -136,6 +136,88 @@ proptest! {
         prop_assert_eq!(t.depth() as usize, root_idx.max(len - 1 - root_idx));
         prop_assert_eq!(t.edges().count(), len - 1);
         prop_assert_eq!(t.leaves().len(), if root_idx == 0 || root_idx == len - 1 { 1 } else { 2 });
+    }
+
+    #[test]
+    fn edge_deleted_maps_round_trip_on_survivors(g in any_graph(20), picks in proptest::collection::vec(0usize..64, 0..8)) {
+        let removed: Vec<u32> = picks
+            .iter()
+            .filter(|_| g.num_edges() > 0)
+            .map(|&p| (p % g.num_edges() as usize) as u32)
+            .collect();
+        let view = subgraph::edge_deleted(&g, &removed);
+        // Forward then backward is the identity on every surviving new id…
+        for (new, &old) in view.orig_edge.iter().enumerate() {
+            prop_assert_eq!(view.new_edge[old as usize], Some(new as u32));
+            prop_assert_eq!(view.graph.endpoints(new as u32), g.endpoints(old));
+        }
+        // …and backward then forward on every surviving original id.
+        for (old, &new) in view.new_edge.iter().enumerate() {
+            match new {
+                Some(n) => prop_assert_eq!(view.orig_edge[n as usize], old as u32),
+                None => prop_assert!(removed.contains(&(old as u32))),
+            }
+        }
+        prop_assert_eq!(view.orig_edge.len(), view.graph.num_edges() as usize);
+    }
+
+    #[test]
+    fn vertex_deleted_maps_round_trip_on_survivors(g in any_graph(20), picks in proptest::collection::vec(0usize..64, 0..6)) {
+        let n = g.num_vertices();
+        let removed: Vec<u32> = picks.iter().map(|&p| (p % n as usize) as u32).collect();
+        // Keep at least one survivor so the view is non-degenerate.
+        prop_assume!(removed.iter().collect::<std::collections::HashSet<_>>().len() < n as usize);
+        let view = subgraph::vertex_deleted(&g, &removed);
+        for (new, &old) in view.orig_vertex.iter().enumerate() {
+            prop_assert_eq!(view.new_vertex[old as usize], Some(new as u32));
+        }
+        for (old, &new) in view.new_vertex.iter().enumerate() {
+            match new {
+                Some(nv) => prop_assert_eq!(view.orig_vertex[nv as usize], old as u32),
+                None => prop_assert!(removed.contains(&(old as u32))),
+            }
+        }
+        for (new, &old) in view.orig_edge.iter().enumerate() {
+            prop_assert_eq!(view.new_edge[old as usize], Some(new as u32));
+            // Endpoints are preserved under the vertex map.
+            let (u, v) = g.endpoints(old);
+            let (nu, nv) = view.graph.endpoints(new as u32);
+            prop_assert_eq!(view.orig_vertex[nu as usize], u.min(v));
+            prop_assert_eq!(view.orig_vertex[nv as usize], u.max(v));
+        }
+        for (old, &new) in view.new_edge.iter().enumerate() {
+            if let Some(ne) = new {
+                prop_assert_eq!(view.orig_edge[ne as usize], old as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn star_product_coordinates_and_counts(g in connected_graph(6), h in connected_graph(5), twisted in any::<bool>()) {
+        let sp = if twisted {
+            pf_graph::shifted_product(&g, &h)
+        } else {
+            pf_graph::cartesian_product(&g, &h)
+        };
+        let p = sp.graph();
+        let (ng, nh) = (g.num_vertices(), h.num_vertices());
+        prop_assert_eq!(p.num_vertices(), ng * nh);
+        prop_assert_eq!(p.num_edges(), ng * h.num_edges() + g.num_edges() * nh);
+        prop_assert!(bfs::is_connected(p));
+        for gv in 0..ng {
+            for hv in 0..nh {
+                let v = sp.vertex(gv, hv);
+                prop_assert_eq!((sp.supernode(v), sp.local(v)), (gv, hv));
+            }
+        }
+        // Every inter-supernode product edge follows its G-edge bijection.
+        for (e, u, v) in g.edges() {
+            for x in 0..nh {
+                let y = sp.across(e, u, x);
+                prop_assert!(p.has_edge(sp.vertex(u, x), sp.vertex(v, y)));
+                prop_assert_eq!(sp.across(e, v, y), x);
+            }
+        }
     }
 
     #[test]

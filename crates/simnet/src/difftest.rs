@@ -313,6 +313,50 @@ fn traced_faulted_runs_match() {
 }
 
 #[test]
+fn constructed_plans_match_on_generic_substrates() {
+    // Plans from the pluggable TreeConstruction backends drive the same
+    // engines as the paper's PolarFly plans; the byte-identity contract
+    // must hold off-PolarFly too (torus, star product, random graph).
+    use pf_allreduce::substrates;
+    use pf_allreduce::{
+        Budget, GreedyPeel, KaryMultitree, StarProductDisjoint, TreeConstruction,
+    };
+    use pf_graph::{builders, shifted_product, Graph};
+
+    let torus = pf_topo::torus::Torus::new(&[4, 4]).graph().clone();
+    let er = substrates::erdos_renyi_connected(20, 30, 0xE5);
+    let sp = shifted_product(&builders::cycle(4), &builders::complete(4));
+    let star = sp.graph().clone();
+    let cases: Vec<(&Graph, Box<dyn TreeConstruction>, &str)> = vec![
+        (&torus, Box::new(KaryMultitree { k: 3 }), "kary torus-4x4"),
+        (&er, Box::new(GreedyPeel { seed: 7 }), "greedy-peel er-n20"),
+        (&star, Box::new(StarProductDisjoint::new(sp.clone(), 3)), "star-disjoint c4xk4"),
+    ];
+    for (g, backend, label) in cases {
+        let plan = AllreducePlan::construct(g, backend.as_ref(), &Budget::unlimited())
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        for kind in COLLECTIVES {
+            Case::new(plan.clone(), 300).assert_identical(kind, &format!("{label} {kind:?}"));
+        }
+    }
+}
+
+#[test]
+fn constructed_plans_match_under_faults() {
+    // A constructed plan with a mid-run permanent outage: detection,
+    // retries and the fault table must serialize identically.
+    use pf_allreduce::{Budget, KaryMultitree};
+    let g = pf_topo::torus::Torus::new(&[4, 4]).graph().clone();
+    let plan =
+        AllreducePlan::construct(&g, &KaryMultitree { k: 3 }, &Budget::unlimited()).unwrap();
+    let e = used_edge(&plan);
+    let mut case = Case::new(plan, 800);
+    case.trace = Some(TraceConfig::counters());
+    case.faults = Some(FaultSchedule::permanent_links(&[e], 60));
+    case.assert_identical(Collective::Allreduce, "constructed + traced + fault");
+}
+
+#[test]
 fn zero_length_and_tiny_vectors_match() {
     let plan = AllreducePlan::low_depth(3).unwrap();
     for m in [0u64, 1, 2, 13] {

@@ -14,9 +14,12 @@
 //! The fixtures are deliberately small: the q = 3 low-depth plan
 //! (13 nodes), a 40-element vector, and a 32-bucket timeline — one
 //! allreduce and one reduce-scatter (the sharded-training half whose
-//! trace differs most: no broadcast relays, one sink per tree).
+//! trace differs most: no broadcast relays, one sink per tree). A second
+//! pair pins the first off-PolarFly plan: the kary multitree construction
+//! on a 4×4 torus, so generic-substrate embeddings are held to the same
+//! byte-for-byte history as the paper's.
 
-use pf_allreduce::AllreducePlan;
+use pf_allreduce::{AllreducePlan, Budget, KaryMultitree};
 use pf_simnet::engine::Collective;
 use pf_simnet::{MultiTreeEmbedding, SimConfig, Simulator, TraceConfig, TraceReport, Workload};
 use std::path::{Path, PathBuf};
@@ -29,6 +32,17 @@ fn golden_dir() -> PathBuf {
 
 fn golden_trace(kind: Collective) -> TraceReport {
     let plan = AllreducePlan::low_depth(3).expect("q = 3");
+    run_traced(&plan, kind)
+}
+
+fn golden_torus_trace(kind: Collective) -> TraceReport {
+    let g = pf_topo::torus::Torus::new(&[4, 4]).graph().clone();
+    let plan = AllreducePlan::construct(&g, &KaryMultitree { k: 3 }, &Budget::unlimited())
+        .expect("kary plan on the 4x4 torus");
+    run_traced(&plan, kind)
+}
+
+fn run_traced(plan: &AllreducePlan, kind: Collective) -> TraceReport {
     let sizes = plan.split(M);
     let emb = MultiTreeEmbedding::new(&plan.graph, &plan.trees, &sizes);
     let w = Workload::new(plan.graph.num_vertices(), M);
@@ -40,8 +54,16 @@ fn golden_trace(kind: Collective) -> TraceReport {
 }
 
 fn check(kind: Collective, file: &str) {
+    check_produced(golden_trace(kind), kind, file);
+}
+
+fn check_torus(kind: Collective, file: &str) {
+    check_produced(golden_torus_trace(kind), kind, file);
+}
+
+fn check_produced(trace: TraceReport, kind: Collective, file: &str) {
     let path = golden_dir().join(file);
-    let produced = golden_trace(kind).to_json();
+    let produced = trace.to_json();
 
     if std::env::var_os("GOLDEN_REGEN").is_some() {
         std::fs::write(&path, &produced).expect("write golden fixture");
@@ -69,11 +91,26 @@ fn reduce_scatter_trace_matches_the_golden_fixture() {
     check(Collective::ReduceScatter, "reduce_scatter_q3.json");
 }
 
+#[test]
+fn torus_allreduce_trace_matches_the_golden_fixture() {
+    check_torus(Collective::Allreduce, "allreduce_torus4x4.json");
+}
+
+#[test]
+fn torus_reduce_scatter_trace_matches_the_golden_fixture() {
+    check_torus(Collective::ReduceScatter, "reduce_scatter_torus4x4.json");
+}
+
 /// The fixtures also pin the parser: a committed dump must round-trip
 /// through `TraceReport::from_json` back to identical bytes.
 #[test]
 fn golden_fixtures_round_trip_through_the_parser() {
-    for file in ["allreduce_q3.json", "reduce_scatter_q3.json"] {
+    for file in [
+        "allreduce_q3.json",
+        "reduce_scatter_q3.json",
+        "allreduce_torus4x4.json",
+        "reduce_scatter_torus4x4.json",
+    ] {
         let path = golden_dir().join(file);
         let Ok(committed) = std::fs::read_to_string(&path) else {
             // First generation: the byte-compare tests report the miss.

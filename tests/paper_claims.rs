@@ -424,6 +424,57 @@ fn theorem_5_1_pipeline_model_predicts_simulated_cycles() {
 }
 
 #[test]
+fn every_construction_respects_the_substrate_bandwidth_bound() {
+    // The cross-backend generalization of Corollary 7.1: on *any*
+    // substrate, the Algorithm 1 aggregate of *any* construction's trees
+    // is capped by min(|E|/(n−1), δ_min) — the edge-count argument (every
+    // spanning tree consumes n−1 of the |E| unit links) meets the
+    // vertex-capacity argument (a minimum-degree vertex can absorb at most
+    // δ_min concurrent streams). On PolarFly this bound dominates the
+    // Corollary 7.1 optimum (q+1)/2, so it also re-checks the paper's
+    // plans. All comparisons in exact rationals.
+    use pf_allreduce::perf::substrate_bandwidth_bound;
+    use pf_allreduce::plan::AllreducePlan;
+    use pf_allreduce::substrates::{backends_for, quick_catalog};
+    use pf_allreduce::{Budget, ConstructError};
+
+    let mut checked = 0;
+    for sub in &quick_catalog() {
+        let bound = substrate_bandwidth_bound(&sub.graph);
+        for backend in backends_for(&sub.name) {
+            let plan =
+                match AllreducePlan::construct(&sub.graph, backend.as_ref(), &Budget::unlimited())
+                {
+                    Ok(plan) => plan,
+                    Err(ConstructError::UnsupportedSubstrate(_)) => continue,
+                    Err(e) => panic!("{} on {}: {e}", backend.name(), sub.name),
+                };
+            assert!(
+                plan.aggregate <= bound,
+                "{} on {}: aggregate {} beats the bound {}",
+                backend.name(),
+                sub.name,
+                plan.aggregate,
+                bound
+            );
+            assert_eq!(plan.substrate_bound(), bound, "{}", sub.name);
+            checked += 1;
+        }
+    }
+    assert!(checked >= 15, "only {checked} backend × substrate pairs ran");
+
+    // And on the paper's own plans the generic bound sits at or above the
+    // Corollary 7.1 optimum, so it never contradicts the tighter
+    // PolarFly-specific statement.
+    for q in [3u64, 7, 11] {
+        let low = AllreducePlan::low_depth(q).unwrap();
+        let optimum = perf::optimal_bandwidth(q, Rational::ONE);
+        assert!(low.substrate_bound() >= optimum, "q={q}");
+        assert!(low.aggregate <= low.substrate_bound(), "q={q}");
+    }
+}
+
+#[test]
 fn section_7_3_non_hamiltonian_paths_exist_iff_n_composite() {
     for q in ALL_QS {
         let s = Singer::new(q);
