@@ -94,11 +94,21 @@ fn main() {
                 .and_then(|i| args.get(i + 1))
                 .map(String::as_str)
                 .unwrap_or("BENCH_simnet.json");
-            pf_bench::perf_snapshot::print_perf_snapshot(
+            let opts = pf_bench::perf_snapshot::SnapshotOptions {
+                scaling: flag("--scaling"),
+                gate: flag("--gate"),
+                max_threads: opt_u64("--threads", 8) as usize,
+                max_q,
+            };
+            if let Err(e) = pf_bench::perf_snapshot::print_perf_snapshot(
                 &sim_qs,
                 opt_u64("--m", 4_000),
                 std::path::Path::new(out),
-            );
+                &opts,
+            ) {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
         }
         "collectives" => {
             let out = args

@@ -54,6 +54,12 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+/// The four operating regimes of the low-depth sweep, in measurement
+/// order. Shared by [`collect`], [`regime_geomeans`], the `--gate`
+/// regression check and the tests, so adding a regime is a one-line
+/// change that every consumer picks up.
+pub const REGIMES: [&str; 4] = ["latency", "saturated", "fault_retention", "contention"];
+
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
 
@@ -115,7 +121,7 @@ pub struct EngineMeasurement {
 pub struct PerfPoint {
     /// Plan family ("low_depth" / "edge_disjoint").
     pub label: &'static str,
-    /// Operating regime ("latency" / "saturated" / "fault_retention").
+    /// Operating regime (one of [`REGIMES`]).
     pub regime: &'static str,
     /// PolarFly radix.
     pub q: u64,
@@ -283,7 +289,7 @@ fn used_edge(plan: &AllreducePlan) -> u32 {
     plan.edge_congestion.iter().position(|&c| c > 0).expect("plan uses an edge") as u32
 }
 
-/// Runs the sweep: the three regimes of the low-depth plan at every
+/// Runs the sweep: the four [`REGIMES`] of the low-depth plan at every
 /// radix, plus the edge-disjoint set at the largest radix, at saturated
 /// vector length `m`.
 pub fn collect(qs: &[u64], m: u64) -> Vec<PerfPoint> {
@@ -347,17 +353,110 @@ pub fn summarize(points: &[PerfPoint]) -> Vec<QSummary> {
     out
 }
 
-/// Serializes the sweep as `pf-bench-simnet-perf-v1` JSON (schema in
-/// `docs/PERFORMANCE.md`). `collectives` is the byte-deterministic
-/// sharded-training regime (see [`crate::collectives`]), embedded under
-/// its own key so the wall-clock points stay separate from the
-/// cycle-exact rows.
+/// Aggregates the low-depth points into one speedup per regime
+/// (geometric mean across radixes) — the quantity the `--gate`
+/// regression check compares against 1.0.
+pub fn regime_geomeans(points: &[PerfPoint]) -> Vec<(&'static str, f64)> {
+    REGIMES
+        .iter()
+        .filter_map(|&regime| {
+            let speedups: Vec<f64> = points
+                .iter()
+                .filter(|p| p.label == "low_depth" && p.regime == regime)
+                .map(|p| p.speedup)
+                .collect();
+            if speedups.is_empty() {
+                return None;
+            }
+            let g = speedups.iter().product::<f64>().powf(1.0 / speedups.len() as f64);
+            Some((regime, g))
+        })
+        .collect()
+}
+
+/// One cell of the routers-per-second scaling curve: an edge-disjoint
+/// plan of radix `q` run saturated through the sharded engine at a given
+/// thread count.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// PolarFly radix.
+    pub q: u64,
+    /// Routers in the fabric (`q² + q + 1`).
+    pub routers: u32,
+    /// `SimConfig::threads` for this cell.
+    pub threads: usize,
+    /// Vector length.
+    pub m: u64,
+    /// Simulated cycles (identical across thread counts by the
+    /// determinism guarantee — asserted here).
+    pub cycles: u64,
+    /// Best-of-runs wall time, seconds.
+    pub wall_seconds: f64,
+    /// `routers × cycles / wall_seconds` — router-cycles simulated per
+    /// wall-clock second, the scaling-curve metric.
+    pub routers_per_sec: f64,
+}
+
+/// Measures the scaling curve: edge-disjoint plans (channel-disjoint
+/// trees, so the sharded mode has independent components to distribute)
+/// across radixes and thread counts. Cycle counts are asserted invariant
+/// across the thread ladder.
+pub fn collect_scaling(qs: &[u64], threads: &[usize], m: u64) -> Vec<ScalingPoint> {
+    let mut out = Vec::new();
+    for &q in qs {
+        let Ok(plan) = AllreducePlan::edge_disjoint(q, 30, 1) else {
+            continue;
+        };
+        let routers = plan.graph.num_vertices();
+        let sizes = plan.split(m);
+        let emb = MultiTreeEmbedding::new(&plan.graph, &plan.trees, &sizes);
+        let w = Workload::new(routers, m);
+        let mut base_cycles = None;
+        for &t in threads {
+            let cfg = SimConfig { threads: t, ..SimConfig::default() };
+            let meas = measure("optimized", 2, || {
+                let r = Simulator::new(&plan.graph, &emb, cfg).run(&w);
+                assert!(
+                    r.completed && r.mismatches == 0,
+                    "scaling q={q} threads={t}: run must complete cleanly"
+                );
+                r.cycles
+            });
+            match base_cycles {
+                None => base_cycles = Some(meas.cycles),
+                Some(c) => assert_eq!(
+                    c, meas.cycles,
+                    "scaling q={q} threads={t}: thread count changed simulated cycles"
+                ),
+            }
+            out.push(ScalingPoint {
+                q,
+                routers,
+                threads: t,
+                m,
+                cycles: meas.cycles,
+                wall_seconds: meas.wall_seconds,
+                routers_per_sec: routers as f64 * meas.cycles as f64
+                    / meas.wall_seconds.max(1e-12),
+            });
+        }
+    }
+    out
+}
+
+/// Serializes the sweep as `pf-bench-simnet-perf-v2` JSON (schema in
+/// `docs/PERFORMANCE.md`; every v1 key is unchanged, v2 adds the
+/// `regime_geomeans` and `scaling` arrays). `collectives` is the
+/// byte-deterministic sharded-training regime (see
+/// [`crate::collectives`]), embedded under its own key so the wall-clock
+/// points stay separate from the cycle-exact rows.
 pub fn to_json(
     points: &[PerfPoint],
     collectives: &[crate::collectives::CollectivePoint],
+    scaling: &[ScalingPoint],
 ) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"pf-bench-simnet-perf-v1\",\n  \"summary\": [\n");
+    out.push_str("{\n  \"schema\": \"pf-bench-simnet-perf-v2\",\n  \"summary\": [\n");
     let summary = summarize(points);
     for (i, s) in summary.iter().enumerate() {
         out.push_str(&format!(
@@ -389,15 +488,72 @@ pub fn to_json(
         }
         out.push_str(&format!("    ]}}{}\n", if i + 1 < points.len() { "," } else { "" }));
     }
+    out.push_str("  ],\n  \"regime_geomeans\": [\n");
+    let geo = regime_geomeans(points);
+    for (i, (regime, g)) in geo.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"regime\": \"{}\", \"speedup\": {:.3}}}{}\n",
+            regime,
+            g,
+            if i + 1 < geo.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"scaling\": [\n");
+    for (i, s) in scaling.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"q\": {}, \"routers\": {}, \"threads\": {}, \"m\": {}, \"cycles\": {}, \
+             \"wall_seconds\": {:.6}, \"routers_per_sec\": {:.0}}}{}\n",
+            s.q,
+            s.routers,
+            s.threads,
+            s.m,
+            s.cycles,
+            s.wall_seconds,
+            s.routers_per_sec,
+            if i + 1 < scaling.len() { "," } else { "" }
+        ));
+    }
     out.push_str("  ],\n  \"collectives\": [\n");
     out.push_str(&crate::collectives::rows_json(collectives, "    "));
     out.push_str("  ]\n}\n");
     out
 }
 
+/// Options for [`print_perf_snapshot`], wired from the `experiments`
+/// CLI (`--scaling`, `--gate`, `--threads`).
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotOptions {
+    /// Also measure the routers-per-second scaling curve (edge-disjoint
+    /// plans, q up to 31, the thread ladder) and embed it in the JSON.
+    pub scaling: bool,
+    /// After measuring, fail (return `Err`) if any regime's geomean
+    /// speedup over the reference drops below 1.0× — the CI perf
+    /// regression gate.
+    pub gate: bool,
+    /// Thread ladder ceiling for the scaling sweep: cells are measured
+    /// at threads ∈ {1, 2, 4, 8} filtered to ≤ this value.
+    pub max_threads: usize,
+    /// Radix ceiling for the scaling sweep ([`SCALING_QS`] entries above
+    /// this are skipped) — wired from the CLI's `--max-q`.
+    pub max_q: u64,
+}
+
+/// Radixes of the scaling curve (edge-disjoint plans; the PolarFly
+/// grows to 993 routers at q = 31).
+pub const SCALING_QS: [u64; 5] = [11, 13, 19, 23, 31];
+
+/// Thread ladder of the scaling curve.
+pub const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
 /// The `experiments perf-snapshot` entry point: measures, prints a table,
-/// and writes `out`.
-pub fn print_perf_snapshot(qs: &[u64], m: u64, out: &Path) {
+/// and writes `out`. Returns `Err` with a description when the `--gate`
+/// regression check fails (the caller exits nonzero).
+pub fn print_perf_snapshot(
+    qs: &[u64],
+    m: u64,
+    out: &Path,
+    opts: &SnapshotOptions,
+) -> Result<(), String> {
     print_header("PERF simulator engine snapshot (optimized vs reference)");
     let points = collect(qs, m);
     println!(
@@ -420,9 +576,51 @@ pub fn print_perf_snapshot(qs: &[u64], m: u64, out: &Path) {
     for s in summarize(&points) {
         println!("q={:<3} allreduce speedup (geomean over regimes): {:.2}x", s.q, s.allreduce_speedup);
     }
+    let geo = regime_geomeans(&points);
+    for (regime, g) in &geo {
+        println!("regime {regime:<16} speedup (geomean over q): {g:.2}x");
+    }
+    let scaling = if opts.scaling {
+        let threads: Vec<usize> = SCALING_THREADS
+            .iter()
+            .copied()
+            .filter(|&t| t <= opts.max_threads.max(1))
+            .collect();
+        let scaling_qs: Vec<u64> = SCALING_QS
+            .iter()
+            .copied()
+            .filter(|&q| q <= opts.max_q)
+            .collect();
+        let sc = collect_scaling(&scaling_qs, &threads, m.max(20_000));
+        println!(
+            "{:<5} {:>8} {:>8} {:>8} {:>9} {:>16}",
+            "q", "routers", "threads", "m", "cycles", "routers/sec"
+        );
+        for s in &sc {
+            println!(
+                "{:<5} {:>8} {:>8} {:>8} {:>9} {:>16.0}",
+                s.q, s.routers, s.threads, s.m, s.cycles, s.routers_per_sec
+            );
+        }
+        sc
+    } else {
+        Vec::new()
+    };
     let collectives = crate::collectives::collect(qs, m);
-    std::fs::write(out, to_json(&points, &collectives)).expect("write BENCH_simnet.json");
+    std::fs::write(out, to_json(&points, &collectives, &scaling))
+        .expect("write BENCH_simnet.json");
     println!("wrote {}", out.display());
+    if opts.gate {
+        for (regime, g) in &geo {
+            if *g < 1.0 {
+                return Err(format!(
+                    "perf gate: regime {regime} geomean speedup {g:.3}x < 1.0x vs reference"
+                ));
+            }
+        }
+        println!("perf gate: all regime geomeans >= 1.0x");
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -441,19 +639,34 @@ mod tests {
             assert!(p.speedup > 0.0);
         }
         let regimes: Vec<&str> = points.iter().map(|p| p.regime).collect();
-        assert_eq!(
-            regimes,
-            ["latency", "saturated", "fault_retention", "contention", "saturated"]
-        );
+        let mut expected: Vec<&str> = REGIMES.to_vec();
+        expected.push("saturated");
+        assert_eq!(regimes, expected);
         let summary = summarize(&points);
         assert_eq!(summary.len(), 1);
         assert_eq!(summary[0].q, 3);
         assert!(summary[0].allreduce_speedup > 0.0);
+        let geo = regime_geomeans(&points);
+        assert_eq!(geo.len(), REGIMES.len());
+        for ((regime, g), want) in geo.iter().zip(REGIMES) {
+            assert_eq!(*regime, want);
+            assert!(*g > 0.0);
+        }
+        let scaling = collect_scaling(&[3], &[1, 2], 400);
+        assert_eq!(scaling.len(), 2);
+        for s in &scaling {
+            assert_eq!(s.q, 3);
+            assert!(s.routers_per_sec > 0.0);
+            assert_eq!(s.cycles, scaling[0].cycles, "cycles must not depend on threads");
+        }
         let collectives = crate::collectives::collect(&[3], 400);
-        let json = to_json(&points, &collectives);
-        assert!(json.contains("pf-bench-simnet-perf-v1"));
+        let json = to_json(&points, &collectives, &scaling);
+        assert!(json.contains("pf-bench-simnet-perf-v2"));
         assert!(json.contains("\"regime\": \"latency\""));
         assert!(json.contains("\"allreduce_speedup\""));
+        assert!(json.contains("\"regime_geomeans\": ["));
+        assert!(json.contains("\"scaling\": ["));
+        assert!(json.contains("\"routers_per_sec\""));
         assert!(json.contains("\"collectives\": ["));
         assert!(json.contains("\"collective\": \"allgather\""));
     }

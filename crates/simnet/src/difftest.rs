@@ -357,6 +357,132 @@ fn constructed_plans_match_under_faults() {
 }
 
 #[test]
+fn batched_steady_state_matches_at_scale() {
+    // Large m drives the run into a long saturated steady state, so the
+    // batch replay (engine.rs `batch_step`) covers most of the simulated
+    // cycles — and the deterministic sharded mode must merge back to the
+    // same bytes. Three-way check: reference, optimized single-thread
+    // (batched), optimized sharded.
+    for q in [5u64, 7, 11] {
+        let plan = AllreducePlan::low_depth(q).unwrap();
+        let m = 20_000;
+        let sizes = plan.split(m);
+        let emb = MultiTreeEmbedding::new(&plan.graph, &plan.trees, &sizes);
+        let w = Workload::new(plan.graph.num_vertices(), m);
+        let kind = Collective::Allreduce;
+        let (ref_report, _, _) =
+            Simulator::new(&plan.graph, &emb, SimConfig::default()).run_reference(&w, kind);
+        assert!(ref_report.completed && ref_report.mismatches == 0);
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = SimConfig { threads, ..SimConfig::default() };
+            let (report, _, _) =
+                Simulator::new(&plan.graph, &emb, cfg).run_optimized(&w, kind);
+            assert_eq!(
+                report, ref_report,
+                "batched saturated q={q} threads={threads}: SimReport diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_contention_jobs_match_across_threads() {
+    // Two tenants on disjoint tree halves (the perf-snapshot contention
+    // regime): the job accounting path must be byte-deterministic across
+    // thread counts, and the engine decisions must coincide with the
+    // reference running the identical embedding as one plain collective.
+    use crate::engine::JobBinding;
+    use crate::workload::{JobSegment, ReduceKind};
+
+    for q in [5u64, 7, 11] {
+        let plan = AllreducePlan::low_depth(q).unwrap();
+        let m = 10_000u64;
+        let half = (plan.trees.len() / 2).max(1);
+        let idx_a: Vec<usize> = (0..half).collect();
+        let idx_b: Vec<usize> = (half..plan.trees.len()).collect();
+        let sub_a = plan.tree_subset(&idx_a);
+        let sub_b = plan.tree_subset(&idx_b);
+        let (m_a, m_b) = (m / 2, m - m / 2);
+        let (split_a, split_b) = (sub_a.split(m_a), sub_b.split(m_b));
+        let mut trees = sub_a.trees.clone();
+        trees.extend(sub_b.trees.iter().cloned());
+        let mut sizes = split_a.clone();
+        sizes.extend_from_slice(&split_b);
+        let mut offsets = Vec::with_capacity(sizes.len());
+        let mut off = 0u64;
+        for &len in &split_a {
+            offsets.push(off);
+            off += len;
+        }
+        let mut off = m_a;
+        for &len in &split_b {
+            offsets.push(off);
+            off += len;
+        }
+        let emb = MultiTreeEmbedding::with_offsets(&plan.graph, &trees, &sizes, &offsets);
+        let w = Workload::concat(
+            plan.graph.num_vertices(),
+            &[
+                JobSegment::full(m_a, ReduceKind::WrappingU64),
+                JobSegment::full(m_b, ReduceKind::WrappingU64),
+            ],
+        );
+        let bindings = [
+            JobBinding { trees: 0..half, release: 0 },
+            JobBinding { trees: half..trees.len(), release: 0 },
+        ];
+        let base = Simulator::new(&plan.graph, &emb, SimConfig::default())
+            .run_jobs(&w, &bindings);
+        assert!(base.report.completed && base.report.mismatches == 0);
+        for threads in [2usize, 4, 8] {
+            let cfg = SimConfig { threads, ..SimConfig::default() };
+            let run = Simulator::new(&plan.graph, &emb, cfg).run_jobs(&w, &bindings);
+            assert_eq!(
+                run.report, base.report,
+                "contention q={q} threads={threads}: SimReport diverged"
+            );
+            assert_eq!(
+                run.jobs, base.jobs,
+                "contention q={q} threads={threads}: job outcomes diverged"
+            );
+        }
+        let (ref_report, _, _) = Simulator::new(&plan.graph, &emb, SimConfig::default())
+            .run_reference(&w, Collective::Allreduce);
+        assert_eq!(
+            base.report, ref_report,
+            "contention q={q}: jobs run diverged from reference collective"
+        );
+    }
+}
+
+#[test]
+fn fault_transitions_break_batch_spans() {
+    // A transient outage deep in the saturated steady state: by then the
+    // batch replay is armed and fast-forwarding, so its window margin
+    // must clip exactly at the fault's activation cycle (and again at the
+    // heal) or detection stamps and frozen-subtree timing shift. Traced
+    // variants pin per-cycle stepping on top of the same schedule.
+    let plan = AllreducePlan::low_depth(7).unwrap();
+    let e = used_edge(&plan);
+    let schedule = FaultSchedule {
+        events: vec![FaultEvent {
+            cycle: 2_000,
+            target: FaultTarget::Link(e),
+            kind: FaultKind::Down,
+            duration: Some(500),
+        }],
+        detection: DetectionConfig { timeout: 32, max_retries: 3, abort_on_detection: false },
+    };
+    let mut case = Case::new(plan.clone(), 20_000);
+    case.faults = Some(schedule.clone());
+    case.assert_identical(Collective::Allreduce, "mid-steady-state transient");
+    let mut traced = Case::new(plan, 20_000);
+    traced.trace = Some(TraceConfig::counters());
+    traced.faults = Some(schedule);
+    traced.assert_identical(Collective::Allreduce, "traced mid-steady-state transient");
+}
+
+#[test]
 fn zero_length_and_tiny_vectors_match() {
     let plan = AllreducePlan::low_depth(3).unwrap();
     for m in [0u64, 1, 2, 13] {

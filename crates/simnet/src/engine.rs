@@ -37,6 +37,30 @@
 //!   to the earliest in-flight arrival or fault-schedule transition instead
 //!   of ticking idly (latency tails, drain phases, fault-frozen fabrics).
 //!
+//! Two further layers sit on top of the active sets (both introduced for
+//! the saturated/contention regimes, where every cycle makes progress and
+//! idle-skip never fires — see `docs/PERFORMANCE.md` for the derivations):
+//!
+//! * **Batch spans** — when the run is in steady state, consecutive cycles
+//!   repeat the same fire/drain/arrival pattern exactly. The engine arms a
+//!   full *shape* snapshot (queue lengths, active sets, round-robin
+//!   cursors, relative in-flight arrival offsets), detects the period `P`
+//!   at which the shape recurs, bounds the largest whole number of periods
+//!   `j` containing no event boundary (no slice end, fault transition, job
+//!   release or cycle cap), and replays all `j·P` cycles in closed form:
+//!   ring heads advance by `j·rate`, arrival stamps are re-based, counters
+//!   get bulk adds, and delivered values (digests, validation, surviving
+//!   queue contents) are recomputed per element with the reduction combine
+//!   vectorized over contiguous element runs. This extends idle-skip from
+//!   "skip when nothing happens" to "skip when the same thing happens
+//!   every cycle".
+//! * **Deterministic sharding** ([`SimConfig::threads`]) — trees that share
+//!   no directed channel have fully independent state, so connected
+//!   components of the tree/channel sharing graph are simulated on worker
+//!   threads and their reports merged in a fixed order; every digest is an
+//!   order-independent wrapping sum, so the merge is byte-identical to the
+//!   single-threaded run.
+//!
 //! All queue state lives in flat, pre-sized ring-buffer arenas — the steady
 //! state allocates nothing. The pre-optimization stepper is retained as
 //! [`mod@reference`] (behind `cfg(test)` / the `reference-engine` feature) and a
@@ -79,6 +103,15 @@ pub struct SimConfig {
     /// links at once; multi-tree allreduce needs ~aggregate-bandwidth
     /// injection per node, which this knob makes explicit).
     pub max_injections_per_node: Option<u32>,
+    /// Worker threads for the deterministic sharded mode (`<= 1` =
+    /// single-threaded). When the embedded trees split into two or more
+    /// channel-disjoint components and nothing couples them (no tracer, no
+    /// fault layer, no per-node caps), the components are simulated
+    /// concurrently and merged deterministically: reports, digests and
+    /// per-job outcomes are byte-identical to the single-threaded run
+    /// (difftested and property-tested). When sharding does not apply, the
+    /// run silently falls back to one thread.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -90,6 +123,7 @@ impl Default for SimConfig {
             max_cycles: 50_000_000,
             max_reductions_per_router: None,
             max_injections_per_node: None,
+            threads: 1,
         }
     }
 }
@@ -466,97 +500,371 @@ impl<'a> Simulator<'a> {
             "workload must cover every tree slice's global element range"
         );
 
-        let Simulator { emb, cfg, mut tracer, mut faults } = self;
-        let mut st = RunState::new(emb, cfg, kind, bindings);
-
-        let traced = tracer.is_some();
-        let mut cycle = 0u64;
-        while st.deliveries < st.total_deliveries
-            && cycle < cfg.max_cycles
-            && !faults.as_ref().is_some_and(|f| f.should_abort())
+        let Simulator { emb, cfg, tracer, faults } = self;
+        // Deterministic sharded mode: channel-disjoint tree components have
+        // fully independent state, so they can be simulated concurrently
+        // and merged. Anything that couples components — a tracer (global
+        // timeline), a fault layer (global detector clock), or per-node
+        // caps (budgets shared across trees) — forces the single run.
+        if cfg.threads > 1
+            && tracer.is_none()
+            && faults.is_none()
+            && cfg.max_reductions_per_router.is_none()
+            && cfg.max_injections_per_node.is_none()
         {
-            cycle += 1;
-            if let Some(fs) = faults.as_mut() {
-                fs.begin_cycle(cycle);
-            }
-            st.progress = false;
-
-            st.step_arrivals(cycle, &faults);
-            st.step_compute(cycle, w, &mut tracer, &faults);
-            st.step_transmit(cycle, traced, &mut tracer, &mut faults);
-
-            if let Some(tr) = tracer.as_mut() {
-                if tr.timeline_due(cycle) {
-                    tr.sample_timeline(cycle, st.deliveries);
-                }
-            }
-
-            // Time skip: if this cycle made no progress at all, nothing can
-            // change until the next in-flight arrival (or the next fault
-            // activation / heal). Jump there instead of ticking idly.
-            // Tracing pins per-cycle stepping; an actively faulted fabric
-            // (downed or degraded channels) needs per-cycle stall/degrade
-            // accounting, so skipping pauses until it is quiet again.
-            if !st.progress && !traced && st.deliveries < st.total_deliveries {
-                let fault_ok = faults.as_ref().is_none_or(|f| f.skip_safe());
-                if fault_ok {
-                    let mut target = cfg.max_cycles;
-                    if let Some(next) = st.next_arrival() {
-                        target = target.min(next - 1);
-                    }
-                    if let Some(next) = faults.as_ref().and_then(|f| f.next_transition()) {
-                        target = target.min(next - 1);
-                    }
-                    if let Some(next) = st.next_release(cycle) {
-                        target = target.min(next - 1);
-                    }
-                    cycle = cycle.max(target.min(cfg.max_cycles));
-                }
+            if let Some(masks) = shard_masks(emb, cfg.threads) {
+                return run_sharded(emb, cfg, w, kind, bindings, &masks);
             }
         }
-
-        let completed = st.deliveries == st.total_deliveries;
-        let max_util = st
-            .channel_flits
-            .iter()
-            .map(|&f| f as f64 / cycle.max(1) as f64)
-            .fold(0.0, f64::max);
-        let fault_report = faults.map(|f| f.finish(completed));
-        let mut trace = tracer.map(|mut tr| {
-            tr.sample_timeline(cycle, st.deliveries); // final sample (timeline runs only)
-            tr.finish(emb, cycle)
-        });
-        if let Some(t) = trace.as_mut() {
-            t.collective = kind.name().to_string();
-        }
-        if let (Some(t), Some(fr)) = (trace.as_mut(), fault_report.as_ref()) {
-            t.faults = fr.records.clone();
-        }
-        let report = SimReport {
-            cycles: cycle,
-            total_elems: emb.total_len,
-            completed,
-            mismatches: st.mismatches,
-            value_digest: st.value_digest,
-            measured_bandwidth: emb.total_len as f64 / cycle.max(1) as f64,
-            tree_completion: st.tree_completion,
-            first_element_latency: st.first_element_latency,
-            channel_flits: st.channel_flits,
-            max_channel_utilization: max_util,
-            max_vc_occupancy: st.max_vc_occupancy,
-        };
-        let jobs = (0..st.njobs)
-            .map(|j| JobOutcome {
-                first_delivery: st.job_first[j],
-                completion: st.job_completion[j],
-                deliveries: st.job_deliveries[j],
-                elems: st.job_elems[j],
-                value_hash: st.job_hash[j],
-                mismatches: st.job_mismatches[j],
-            })
-            .collect();
-        (report, trace, fault_report, jobs)
+        let single = run_single(emb, cfg, tracer, faults, w, kind, bindings, None);
+        (single.report, single.trace, single.faults, single.jobs)
     }
+}
+
+/// Result of one [`run_single`] invocation (one shard of a sharded run, or
+/// the whole fabric).
+struct SingleRun {
+    report: SimReport,
+    trace: Option<TraceReport>,
+    faults: Option<FaultReport>,
+    jobs: Vec<JobOutcome>,
+    /// Pairs that must deliver a first element in this shard's mask — the
+    /// merge needs it to reconstruct `first_element_latency` (a shard that
+    /// owns no live pairs reports 0 without meaning "incomplete").
+    live_pairs: u64,
+}
+
+/// The simulation loop proper: one `RunState`, stepped to completion.
+/// `tree_mask` (sharded mode) deactivates the trees a shard does not own —
+/// masked trees behave exactly like `len == 0` trees, contributing nothing
+/// to any counter.
+#[allow(clippy::too_many_arguments)]
+fn run_single(
+    emb: &MultiTreeEmbedding,
+    cfg: SimConfig,
+    mut tracer: Option<Tracer>,
+    mut faults: Option<FaultState>,
+    w: &Workload,
+    kind: Collective,
+    bindings: Option<&[JobBinding]>,
+    tree_mask: Option<&[bool]>,
+) -> SingleRun {
+    let mut st = RunState::new(emb, cfg, kind, bindings, tree_mask);
+
+    let traced = tracer.is_some();
+    // `fast` fuses transmit and wire advancement into one pass: the flits
+    // staged at cycle `c` are advanced toward (and into) the arrival state
+    // for `c + 1` immediately, so the next iteration starts with zero
+    // wire-scan work. A tracer or fault layer needs the classic split
+    // stepping (per-cycle freeze checks and stall attribution).
+    let fast = !traced && faults.is_none();
+    // Batch spans additionally require uncapped budgets (a per-node budget
+    // is consumed *within* a cycle; replaying j·P cycles in closed form
+    // would need per-cycle budget accounting). A quiet attached fault
+    // layer is fine — spans are bounded by its next transition.
+    let batchable = !traced
+        && cfg.max_reductions_per_router.is_none()
+        && cfg.max_injections_per_node.is_none();
+    let mut cycle = 0u64;
+    while st.deliveries < st.total_deliveries
+        && cycle < cfg.max_cycles
+        && !faults.as_ref().is_some_and(|f| f.should_abort())
+    {
+        cycle += 1;
+        if let Some(fs) = faults.as_mut() {
+            fs.begin_cycle(cycle);
+        }
+        st.progress = st.pending_arrivals;
+        st.pending_arrivals = false;
+
+        if !fast {
+            st.step_arrivals(cycle, &faults);
+        } else if cycle > st.arrivals_done {
+            // Catch-up after a skip (or on the first cycle): arrivals due
+            // by `cycle` that the fused pass could not know about yet.
+            st.step_arrivals_fast(cycle, false);
+        }
+        st.step_compute(cycle, w, &mut tracer, &faults);
+        st.step_transmit(cycle, traced, &mut tracer, &mut faults);
+        if fast {
+            // Fused wire advancement: complete next cycle's arrivals in
+            // the same pass over the active words (a flit stamped
+            // `cycle + 1`, i.e. link latency 1, arrives here instead of
+            // via a second full scan at the top of the next iteration).
+            st.step_arrivals_fast(cycle + 1, true);
+            st.arrivals_done = cycle + 1;
+        }
+
+        if let Some(tr) = tracer.as_mut() {
+            if tr.timeline_due(cycle) {
+                tr.sample_timeline(cycle, st.deliveries);
+            }
+        }
+
+        if batchable && st.deliveries < st.total_deliveries {
+            st.batch_step(&mut cycle, w, &mut faults);
+        }
+
+        // Time skip: if this cycle made no progress at all, nothing can
+        // change until the next in-flight arrival (or the next fault
+        // activation / heal). Jump there instead of ticking idly.
+        // Tracing pins per-cycle stepping; an actively faulted fabric
+        // (downed or degraded channels) needs per-cycle stall/degrade
+        // accounting, so skipping pauses until it is quiet again.
+        if !st.progress
+            && !st.pending_arrivals
+            && !traced
+            && st.deliveries < st.total_deliveries
+        {
+            let fault_ok = faults.as_ref().is_none_or(|f| f.skip_safe());
+            if fault_ok {
+                let mut target = cfg.max_cycles;
+                if let Some(next) = st.next_arrival() {
+                    target = target.min(next - 1);
+                }
+                if let Some(next) = faults.as_ref().and_then(|f| f.next_transition()) {
+                    target = target.min(next - 1);
+                }
+                if let Some(next) = st.next_release(cycle) {
+                    target = target.min(next - 1);
+                }
+                cycle = cycle.max(target.min(cfg.max_cycles));
+            }
+        }
+    }
+
+    let completed = st.deliveries == st.total_deliveries;
+    let max_util = st
+        .channel_flits
+        .iter()
+        .map(|&f| f as f64 / cycle.max(1) as f64)
+        .fold(0.0, f64::max);
+    let fault_report = faults.map(|f| f.finish(completed));
+    let mut trace = tracer.map(|mut tr| {
+        tr.sample_timeline(cycle, st.deliveries); // final sample (timeline runs only)
+        tr.finish(emb, cycle)
+    });
+    if let Some(t) = trace.as_mut() {
+        t.collective = kind.name().to_string();
+    }
+    if let (Some(t), Some(fr)) = (trace.as_mut(), fault_report.as_ref()) {
+        t.faults = fr.records.clone();
+    }
+    let report = SimReport {
+        cycles: cycle,
+        total_elems: emb.total_len,
+        completed,
+        mismatches: st.mismatches,
+        value_digest: st.value_digest,
+        measured_bandwidth: emb.total_len as f64 / cycle.max(1) as f64,
+        tree_completion: st.tree_completion,
+        first_element_latency: st.first_element_latency,
+        channel_flits: st.channel_flits,
+        max_channel_utilization: max_util,
+        max_vc_occupancy: st.max_vc_occupancy,
+    };
+    let jobs = (0..st.njobs)
+        .map(|j| JobOutcome {
+            first_delivery: st.job_first[j],
+            completion: st.job_completion[j],
+            deliveries: st.job_deliveries[j],
+            elems: st.job_elems[j],
+            value_hash: st.job_hash[j],
+            mismatches: st.job_mismatches[j],
+        })
+        .collect();
+    SingleRun { report, trace, faults: fault_report, jobs, live_pairs: st.live_pairs }
+}
+
+/// Partitions the embedding's live trees into channel-disjoint components
+/// and packs the components into at most `threads` shard masks (longest
+/// processing time first, by total slice length). Returns `None` when the
+/// fabric does not decompose (fewer than two components) — the caller
+/// falls back to the single-threaded run.
+fn shard_masks(emb: &MultiTreeEmbedding, threads: usize) -> Option<Vec<Vec<bool>>> {
+    let ntrees = emb.trees.len();
+    if ntrees < 2 {
+        return None;
+    }
+    // Union-find over trees: two trees sharing any directed channel are
+    // coupled (their streams contend for its bandwidth).
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let mut parent: Vec<u32> = (0..ntrees as u32).collect();
+    for members in &emb.channel_streams {
+        let mut first: Option<u32> = None;
+        for &s in members {
+            let t = emb.streams[s as usize].tree;
+            match first {
+                None => first = Some(find(&mut parent, t)),
+                Some(f) => {
+                    let r = find(&mut parent, t);
+                    if r != f {
+                        parent[r as usize] = f;
+                    }
+                }
+            }
+        }
+    }
+    // Components over live trees only (an empty tree has no state at all).
+    let mut comp_idx = vec![usize::MAX; ntrees];
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    let mut weights: Vec<u64> = Vec::new();
+    for (ti, t) in emb.trees.iter().enumerate() {
+        if t.len == 0 {
+            continue;
+        }
+        let root = find(&mut parent, ti as u32) as usize;
+        let ci = if comp_idx[root] == usize::MAX {
+            comp_idx[root] = components.len();
+            components.push(Vec::new());
+            weights.push(0);
+            comp_idx[root]
+        } else {
+            comp_idx[root]
+        };
+        components[ci].push(ti);
+        weights[ci] += t.len;
+    }
+    if components.len() < 2 {
+        return None;
+    }
+    // LPT bin packing: heaviest component into the lightest bucket. The
+    // sort is stable and ties break on the lowest bucket index, so the
+    // assignment — and therefore the merge order — is deterministic.
+    let buckets = threads.min(components.len());
+    let mut order: Vec<usize> = (0..components.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
+    let mut loads = vec![0u64; buckets];
+    let mut masks = vec![vec![false; ntrees]; buckets];
+    for &i in &order {
+        let b = (0..buckets).min_by_key(|&b| loads[b]).unwrap();
+        loads[b] += weights[i];
+        for &ti in &components[i] {
+            masks[b][ti] = true;
+        }
+    }
+    Some(masks)
+}
+
+/// Runs one shard per mask on the worker pool and merges the shard
+/// reports into exactly what the single-threaded run would have produced.
+/// Every cross-shard aggregate is either a wrapping sum of
+/// order-independent digest entries, an elementwise sum/max over disjoint
+/// supports, or recomputed from merged integers — so the merge is
+/// byte-identical regardless of scheduling.
+fn run_sharded(
+    emb: &MultiTreeEmbedding,
+    cfg: SimConfig,
+    w: &Workload,
+    kind: Collective,
+    bindings: Option<&[JobBinding]>,
+    masks: &[Vec<bool>],
+) -> (SimReport, Option<TraceReport>, Option<FaultReport>, Vec<JobOutcome>) {
+    let shards = crate::par::parallel_map_workers(masks.len(), masks, |mask| {
+        run_single(emb, cfg, None, None, w, kind, bindings, Some(mask))
+    });
+
+    let ntrees = emb.trees.len();
+    let nchans = emb.channel_streams.len();
+    let mut cycles = 0u64;
+    let mut completed = true;
+    let mut mismatches = 0u64;
+    let mut value_digest = 0u64;
+    let mut tree_completion = vec![0u64; ntrees];
+    let mut channel_flits = vec![0u64; nchans];
+    let mut max_vc_occupancy = 0usize;
+    let mut fel = 0u64;
+    let mut fel_all = true;
+    for sh in &shards {
+        cycles = cycles.max(sh.report.cycles);
+        completed &= sh.report.completed;
+        mismatches += sh.report.mismatches;
+        value_digest = value_digest.wrapping_add(sh.report.value_digest);
+        for (tc, &shc) in tree_completion.iter_mut().zip(&sh.report.tree_completion) {
+            *tc = (*tc).max(shc);
+        }
+        for (cf, &shf) in channel_flits.iter_mut().zip(&sh.report.channel_flits) {
+            *cf += shf;
+        }
+        max_vc_occupancy = max_vc_occupancy.max(sh.report.max_vc_occupancy);
+        if sh.live_pairs > 0 {
+            if sh.report.first_element_latency == 0 {
+                fel_all = false;
+            } else {
+                fel = fel.max(sh.report.first_element_latency);
+            }
+        }
+    }
+    let max_util =
+        channel_flits.iter().map(|&f| f as f64 / cycles.max(1) as f64).fold(0.0, f64::max);
+    let report = SimReport {
+        cycles,
+        total_elems: emb.total_len,
+        completed,
+        mismatches,
+        value_digest,
+        measured_bandwidth: emb.total_len as f64 / cycles.max(1) as f64,
+        tree_completion,
+        first_element_latency: if fel_all { fel } else { 0 },
+        channel_flits,
+        max_channel_utilization: max_util,
+        max_vc_occupancy,
+    };
+
+    // Per-job merge. A job's deliveries/elems/hash/mismatches are plain
+    // sums over the shards that own its trees; first delivery is the
+    // earliest nonzero; completion is the latest shard completion, and
+    // only counts once the *merged* deliveries reach the full job total
+    // (a shard completing its portion is not the job completing).
+    let njobs = bindings.map_or(0, <[JobBinding]>::len);
+    let per_tree_sinks = kind.sinks_per_tree(emb.num_nodes as u64);
+    let mut job_total = vec![0u64; njobs];
+    if let Some(bs) = bindings {
+        for (j, b) in bs.iter().enumerate() {
+            for ti in b.trees.clone() {
+                job_total[j] += emb.trees[ti].len * per_tree_sinks;
+            }
+        }
+    }
+    let mut jobs = vec![
+        JobOutcome {
+            first_delivery: 0,
+            completion: 0,
+            deliveries: 0,
+            elems: 0,
+            value_hash: 0,
+            mismatches: 0,
+        };
+        njobs
+    ];
+    for sh in &shards {
+        for (j, o) in sh.jobs.iter().enumerate() {
+            jobs[j].deliveries += o.deliveries;
+            jobs[j].elems += o.elems;
+            jobs[j].value_hash = jobs[j].value_hash.wrapping_add(o.value_hash);
+            jobs[j].mismatches += o.mismatches;
+            if o.first_delivery > 0 {
+                jobs[j].first_delivery = if jobs[j].first_delivery == 0 {
+                    o.first_delivery
+                } else {
+                    jobs[j].first_delivery.min(o.first_delivery)
+                };
+            }
+        }
+    }
+    for j in 0..njobs {
+        if job_total[j] > 0 && jobs[j].deliveries == job_total[j] {
+            jobs[j].completion =
+                shards.iter().map(|sh| sh.jobs[j].completion).max().unwrap_or(0);
+        }
+    }
+    (report, None, None, jobs)
 }
 
 /// Order-independent digest entry for one root-reduced element: a
@@ -588,6 +896,127 @@ pub fn delivery_digest_entry(node: u64, elem: u64, val: u64) -> u64 {
 
 /// Sentinel for "no stream wired here" in the flat dataflow arrays.
 const NONE: u32 = u32::MAX;
+
+/// Longest shape period the batch detector tolerates before dropping an
+/// armed snapshot. Periods are LCMs of the round-robin rotation lengths of
+/// the congested channels, so they grow fast with member-count diversity;
+/// 1024 covers every period observed across the bench regimes with room
+/// to spare while bounding the worst-case compare cost.
+const BATCH_PMAX: u64 = 1024;
+/// Consecutive progress cycles required before arming a snapshot. Runs
+/// that never saturate (latency tails, fault-frozen stretches) never pay
+/// for the detector at all.
+const BATCH_STREAK: u32 = 32;
+/// Element block width of the bulk value-recomputation pass: one scratch
+/// row per node, `BATCH_BLOCK` contiguous elements per pass, sized to keep
+/// the whole working set (n rows) in cache while leaving the inner combine
+/// loops long enough to vectorize.
+const BATCH_BLOCK: usize = 64;
+/// Re-arm backoff after a failed match/window (doubles up to the cap): a
+/// run that is *not* periodic stops paying the snapshot cost quickly.
+const BATCH_BACKOFF0: u64 = 64;
+const BATCH_BACKOFF_MAX: u64 = 8192;
+
+/// Controller for the batch-span fast-forward: arms a full shape snapshot
+/// after a streak of progress cycles, compares every subsequent cycle
+/// against it, and on a recurrence replays `j` whole periods in closed
+/// form (see `docs/PERFORMANCE.md` for the invariance argument).
+struct BatchCtl {
+    /// A snapshot is armed and being compared against.
+    armed: bool,
+    /// Cycle the armed snapshot was taken at.
+    c0: u64,
+    /// Earliest cycle at which a new snapshot may be armed (backoff).
+    next_try: u64,
+    backoff: u64,
+    /// Consecutive progress cycles ending at the current one.
+    streak: u32,
+    snap: BatchSnap,
+}
+
+/// Everything that must recur for two cycles to be *shape-equal* — i.e.
+/// for the fire/drain/arrival pattern between them to replay verbatim —
+/// plus the progress counters whose per-period deltas become the bulk
+/// rates. Value arrays are deliberately absent: values are pure functions
+/// of the element index (the engine combines deterministic workload
+/// inputs in a deterministic order), so the bulk pass recomputes them.
+struct BatchSnap {
+    sendq_len: Vec<u32>,
+    vc_arrived: Vec<u32>,
+    vc_inflight: Vec<u32>,
+    rr: Vec<u32>,
+    pair_active: Vec<u64>,
+    chan_active: Vec<u64>,
+    wire_active: Vec<u64>,
+    /// Per in-flight slot: arrival stamp minus the snapshot cycle, in FIFO
+    /// order per stream (`stream << vc_shift | position`). Occupancy alone
+    /// does not pin the arrival pattern; the relative stamps must recur.
+    inflight_off: Vec<u64>,
+    pending_arrivals: bool,
+    // Progress counters (not part of the shape): their deltas over one
+    // period are the per-pair fire/delivery rates of the bulk replay.
+    reduced: Vec<u64>,
+    delivered: Vec<u64>,
+    deliveries: u64,
+    tree_deliveries: Vec<u64>,
+    job_deliveries: Vec<u64>,
+    channel_flits: Vec<u64>,
+}
+
+impl BatchSnap {
+    fn new(pairs: usize, nstreams: usize, nchans: usize, ntrees: usize, njobs: usize, vc_shift: u32, words_per_tree: usize) -> Self {
+        BatchSnap {
+            sendq_len: vec![0; nstreams],
+            vc_arrived: vec![0; nstreams],
+            vc_inflight: vec![0; nstreams],
+            rr: vec![0; nchans],
+            pair_active: vec![0; ntrees * words_per_tree],
+            chan_active: vec![0; nchans.div_ceil(64)],
+            wire_active: vec![0; nstreams.div_ceil(64)],
+            inflight_off: vec![0; nstreams << vc_shift],
+            pending_arrivals: false,
+            reduced: vec![0; pairs],
+            delivered: vec![0; pairs],
+            deliveries: 0,
+            tree_deliveries: vec![0; ntrees],
+            job_deliveries: vec![0; njobs],
+            channel_flits: vec![0; nchans],
+        }
+    }
+}
+
+/// One stream's queue-rewrite rectangle for the bulk replay: which element
+/// ranges of the post-window send queue and receive ring must be filled
+/// with recomputed values, and the element id sitting at each ring's head
+/// after the window (`*_first`) so element → slot is a single offset.
+#[derive(Clone, Copy)]
+struct QRect {
+    stream: u32,
+    vc_first: u64,
+    vc_lo: u64,
+    vc_hi: u64,
+    sq_first: u64,
+    sq_lo: u64,
+    sq_hi: u64,
+}
+
+const QRECT_NONE: QRect =
+    QRect { stream: NONE, vc_first: 0, vc_lo: 0, vc_hi: 0, sq_first: 0, sq_lo: 0, sq_hi: 0 };
+
+/// Splits two distinct `BATCH_BLOCK`-strided rows out of the scratch
+/// matrix: the row being combined into (mutable) and the child row being
+/// read. Free function so the borrows stay field-local at the call site.
+#[inline]
+fn two_rows(buf: &mut [u64], a: usize, b: usize, bw: usize) -> (&mut [u64], &[u64]) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = buf.split_at_mut(b * BATCH_BLOCK);
+        (&mut lo[a * BATCH_BLOCK..a * BATCH_BLOCK + bw], &hi[..bw])
+    } else {
+        let (lo, hi) = buf.split_at_mut(a * BATCH_BLOCK);
+        (&mut hi[..bw], &lo[b * BATCH_BLOCK..b * BATCH_BLOCK + bw])
+    }
+}
 
 /// All mutable state of one optimized run: flat arenas, active sets, and
 /// the progress counters folded into the final [`SimReport`].
@@ -651,6 +1080,15 @@ struct RunState {
 
     // Stream -> owning channel (for channel activation on staging).
     stream_chan: Vec<u32>,
+    // Stream endpoint metadata for the bulk replay: source node and the
+    // (tree·n + node) pair ids of both endpoints.
+    stream_src_node: Vec<u32>,
+    stream_src_pair: Vec<u32>,
+    stream_dst_pair: Vec<u32>,
+    // Per-tree children-first topological order (CSR): the bulk value
+    // pass combines each node after all of its children.
+    topo_off: Vec<u32>,
+    topo_nodes: Vec<u32>,
     // Precomputed wake targets: the absolute `pair_active` word index and
     // bit mask of each stream's endpoint engines, so a flit event re-arms
     // an engine with a single indexed OR (no division on the hot path).
@@ -697,6 +1135,22 @@ struct RunState {
     channel_flits: Vec<u64>,
     max_vc_occupancy: usize,
     progress: bool,
+
+    // Fused transmit/arrival bookkeeping (fast path only): arrivals have
+    // been completed through this cycle, and the fused pass advanced at
+    // least one flit into the arrived state for the *next* cycle.
+    arrivals_done: u64,
+    pending_arrivals: bool,
+
+    // Batch-span machinery (see the module doc and `BatchCtl`).
+    bat: BatchCtl,
+    // Scratch for the bulk value pass: one row of `BATCH_BLOCK` element
+    // values per node.
+    rblock: Vec<u64>,
+    // Scratch: per-node queue-rewrite rectangles for the tree being bulked
+    // (reduce-out stream / broadcast-in stream of each node).
+    rect_r: Vec<QRect>,
+    rect_b: Vec<QRect>,
 }
 
 impl RunState {
@@ -705,12 +1159,24 @@ impl RunState {
         cfg: SimConfig,
         kind: Collective,
         bindings: Option<&[JobBinding]>,
+        tree_mask: Option<&[bool]>,
     ) -> Self {
         let n = emb.num_nodes as usize;
         let ntrees = emb.trees.len();
         let pairs = ntrees * n;
         let nstreams = emb.streams.len();
         let nchans = emb.channel_streams.len();
+
+        // A masked-out tree (sharded mode: some other shard owns it) is
+        // treated exactly like an empty tree — length 0 everywhere, so its
+        // engines never arm, its streams never carry and its deliveries
+        // never count.
+        let tree_len_eff: Vec<u64> = emb
+            .trees
+            .iter()
+            .enumerate()
+            .map(|(ti, t)| if tree_mask.is_none_or(|m| m[ti]) { t.len } else { 0 })
+            .collect();
 
         // Wire the per-pair dataflow (two passes: counts, then fill).
         let mut in_cnt = vec![0u32; pairs];
@@ -776,12 +1242,9 @@ impl RunState {
         }
 
         let per_tree_sinks = kind.sinks_per_tree(emb.num_nodes as u64);
-        let total_deliveries: u64 = emb.trees.iter().map(|t| t.len * per_tree_sinks).sum();
-        let live_pairs: u64 = emb
-            .trees
-            .iter()
-            .map(|t| if t.len > 0 { per_tree_sinks } else { 0 })
-            .sum();
+        let total_deliveries: u64 = tree_len_eff.iter().map(|&l| l * per_tree_sinks).sum();
+        let live_pairs: u64 =
+            tree_len_eff.iter().map(|&l| if l > 0 { per_tree_sinks } else { 0 }).sum();
 
         let words_per_tree = n.div_ceil(64);
         let sq_shift = (cfg.source_queue as u32).next_power_of_two().trailing_zeros();
@@ -816,17 +1279,36 @@ impl RunState {
                 for ti in b.trees.clone() {
                     tree_release[ti] = b.release;
                     tree_job[ti] = j as u32;
-                    job_total[j] += emb.trees[ti].len * per_tree_sinks;
-                    job_elems[j] += emb.trees[ti].len;
+                    job_total[j] += tree_len_eff[ti] * per_tree_sinks;
+                    job_elems[j] += tree_len_eff[ti];
                 }
             }
+        }
+
+        // Per-tree children-first topological order for the bulk value
+        // pass (a preorder DFS from the root, reversed). Only live trees
+        // get an order; an empty/masked tree's slice stays empty.
+        let mut topo_off = vec![0u32; ntrees + 1];
+        let mut topo_nodes: Vec<u32> = Vec::new();
+        let mut stack: Vec<u32> = Vec::new();
+        for (ti, t) in emb.trees.iter().enumerate() {
+            if tree_len_eff[ti] > 0 {
+                let before = topo_nodes.len();
+                stack.push(t.root);
+                while let Some(v) = stack.pop() {
+                    topo_nodes.push(v);
+                    stack.extend_from_slice(&t.children[v as usize]);
+                }
+                topo_nodes[before..].reverse();
+            }
+            topo_off[ti + 1] = topo_nodes.len() as u32;
         }
 
         // Every engine of a non-empty tree starts active: leaves can fire
         // on cycle 1, everything else stalls once and deactivates.
         let mut pair_active = vec![0u64; ntrees * words_per_tree];
-        for (ti, t) in emb.trees.iter().enumerate() {
-            if t.len == 0 {
+        for (ti, &len_eff) in tree_len_eff.iter().enumerate() {
+            if len_eff == 0 {
                 continue;
             }
             let base = ti * words_per_tree;
@@ -843,7 +1325,7 @@ impl RunState {
             n,
             ntrees,
             tree_root: emb.trees.iter().map(|t| t.root).collect(),
-            tree_len: emb.trees.iter().map(|t| t.len).collect(),
+            tree_len: tree_len_eff,
             tree_off: emb.trees.iter().map(|t| t.offset).collect(),
             track_jobs: bindings.is_some(),
             njobs,
@@ -879,6 +1361,11 @@ impl RunState {
             vc_arrived: vec![0; nstreams],
             vc_inflight: vec![0; nstreams],
             stream_chan,
+            stream_src_node: emb.streams.iter().map(|s| s.src).collect(),
+            stream_src_pair: src_pair,
+            stream_dst_pair: dst_pair,
+            topo_off,
+            topo_nodes,
             wake_src_word,
             wake_src_mask,
             wake_dst_word,
@@ -909,6 +1396,27 @@ impl RunState {
             channel_flits: vec![0; nchans],
             max_vc_occupancy: 0,
             progress: false,
+            arrivals_done: 0,
+            pending_arrivals: false,
+            bat: BatchCtl {
+                armed: false,
+                c0: 0,
+                next_try: 0,
+                backoff: BATCH_BACKOFF0,
+                streak: 0,
+                snap: BatchSnap::new(
+                    pairs,
+                    nstreams,
+                    nchans,
+                    ntrees,
+                    njobs,
+                    vc_shift,
+                    words_per_tree,
+                ),
+            },
+            rblock: vec![0; n * BATCH_BLOCK],
+            rect_r: vec![QRECT_NONE; n],
+            rect_b: vec![QRECT_NONE; n],
         }
     }
 
@@ -994,6 +1502,55 @@ impl RunState {
                 }
                 if advanced {
                     self.progress = true;
+                    self.pair_active[self.wake_dst_word[s] as usize] |= self.wake_dst_mask[s];
+                    if was_empty {
+                        let slot = self.ready_slot[s];
+                        if slot != NONE {
+                            self.ready_in[slot as usize] += 1;
+                        }
+                    }
+                }
+                if self.vc_inflight[s] == 0 {
+                    keep &= !(1u64 << (s % 64));
+                }
+            }
+            self.wire_active[wi] = keep;
+        }
+    }
+
+    /// [`RunState::step_arrivals`] minus the per-stream fault checks, for
+    /// the fused fast path (no fault layer attached). With `pending` the
+    /// call is the fused end-of-cycle pass completing *next* cycle's
+    /// arrivals: advancement is recorded in `pending_arrivals` (consumed
+    /// as next cycle's initial progress) instead of `progress`.
+    fn step_arrivals_fast(&mut self, cycle: u64, pending: bool) {
+        for wi in 0..self.wire_active.len() {
+            let mut word = self.wire_active[wi];
+            if word == 0 {
+                continue;
+            }
+            let mut keep = word;
+            while word != 0 {
+                let s = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let base = s << self.vc_shift;
+                let was_empty = self.vc_arrived[s] == 0;
+                let mut advanced = false;
+                while self.vc_inflight[s] > 0 {
+                    let idx = ((self.vc_head[s] + self.vc_arrived[s]) & self.vc_mask) as usize;
+                    if self.vc_arr[base + idx] > cycle {
+                        break;
+                    }
+                    self.vc_arrived[s] += 1;
+                    self.vc_inflight[s] -= 1;
+                    advanced = true;
+                }
+                if advanced {
+                    if pending {
+                        self.pending_arrivals = true;
+                    } else {
+                        self.progress = true;
+                    }
                     self.pair_active[self.wake_dst_word[s] as usize] |= self.wake_dst_mask[s];
                     if was_empty {
                         let slot = self.ready_slot[s];
@@ -1458,6 +2015,543 @@ impl RunState {
     /// Earliest tree-release cycle still in the future, if any.
     fn next_release(&self, cycle: u64) -> Option<u64> {
         self.tree_release.iter().copied().filter(|&r| r > cycle).min()
+    }
+
+    // -- batch-span fast-forward --------------------------------------------
+    //
+    // The saturated counterpart of the idle skip: once the run makes
+    // progress every cycle, consecutive cycles tend to repeat the same
+    // fire/drain/arrival pattern with some short period P (the LCM of the
+    // congested channels' round-robin rotations). The controller snapshots
+    // the *shape* of the run (everything arbitration depends on), waits for
+    // it to recur, and then replays as many whole periods as provably
+    // contain no event boundary in closed form. Values are recomputed, not
+    // snapshotted: every value the engine moves is a pure function of its
+    // element index (deterministic workload inputs combined in CSR order),
+    // so the bulk pass rebuilds exactly the bits the per-cycle path would
+    // have produced.
+
+    /// Per-cycle driver: maintains the progress streak, arms/compares the
+    /// snapshot, and on a match fast-forwards `cycle`.
+    fn batch_step(&mut self, cycle: &mut u64, w: &Workload, faults: &mut Option<FaultState>) {
+        // Only a saturated steady state can recur; a cycle without
+        // progress (or with a fault actively shaping behavior) resets the
+        // streak and drops any armed snapshot.
+        let quiet = faults.as_ref().is_none_or(FaultState::skip_safe);
+        if !self.progress || !quiet {
+            self.bat.streak = 0;
+            self.bat.armed = false;
+            return;
+        }
+        self.bat.streak = self.bat.streak.saturating_add(1);
+        if self.bat.armed {
+            if self.shape_matches(*cycle) {
+                let period = *cycle - self.bat.c0;
+                self.bat.armed = false;
+                match self.bulk_apply(*cycle, period, w, faults) {
+                    Some(c_end) => {
+                        *cycle = c_end;
+                        self.progress = true;
+                        self.bat.next_try = c_end;
+                        self.bat.backoff = BATCH_BACKOFF0;
+                    }
+                    None => {
+                        self.bat.next_try = *cycle + self.bat.backoff;
+                        self.bat.backoff = (self.bat.backoff * 2).min(BATCH_BACKOFF_MAX);
+                    }
+                }
+            } else if *cycle - self.bat.c0 >= BATCH_PMAX {
+                // No recurrence within the tolerated period: stop paying
+                // the per-cycle compare for a while.
+                self.bat.armed = false;
+                self.bat.next_try = *cycle + self.bat.backoff;
+                self.bat.backoff = (self.bat.backoff * 2).min(BATCH_BACKOFF_MAX);
+            }
+            return;
+        }
+        // Arm only once every live pair has delivered its first element:
+        // the replay must not need to set any `first_*` latch.
+        if self.bat.streak >= BATCH_STREAK
+            && *cycle >= self.bat.next_try
+            && self.first_done_pairs == self.live_pairs
+        {
+            self.capture_shape(*cycle);
+            self.bat.c0 = *cycle;
+            self.bat.armed = true;
+        }
+    }
+
+    /// Copies everything shape-relevant (and the progress counters whose
+    /// deltas become rates) into the armed snapshot.
+    fn capture_shape(&mut self, cycle: u64) {
+        let snap = &mut self.bat.snap;
+        snap.sendq_len.copy_from_slice(&self.sendq_len);
+        snap.vc_arrived.copy_from_slice(&self.vc_arrived);
+        snap.vc_inflight.copy_from_slice(&self.vc_inflight);
+        snap.rr.copy_from_slice(&self.rr);
+        snap.pair_active.copy_from_slice(&self.pair_active);
+        snap.chan_active.copy_from_slice(&self.chan_active);
+        snap.wire_active.copy_from_slice(&self.wire_active);
+        snap.pending_arrivals = self.pending_arrivals;
+        snap.reduced.copy_from_slice(&self.reduced);
+        snap.delivered.copy_from_slice(&self.delivered);
+        snap.deliveries = self.deliveries;
+        snap.tree_deliveries.copy_from_slice(&self.tree_deliveries);
+        snap.job_deliveries.copy_from_slice(&self.job_deliveries);
+        snap.channel_flits.copy_from_slice(&self.channel_flits);
+        for wi in 0..self.wire_active.len() {
+            let mut word = self.wire_active[wi];
+            while word != 0 {
+                let s = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let base = s << self.vc_shift;
+                for idx in 0..self.vc_inflight[s] as u64 {
+                    let slot =
+                        ((self.vc_head[s] + self.vc_arrived[s] + idx as u32) & self.vc_mask) as usize;
+                    snap.inflight_off[(s << self.vc_shift) + idx as usize] =
+                        self.vc_arr[base + slot] - cycle;
+                }
+            }
+        }
+    }
+
+    /// Does the current cycle's shape equal the armed snapshot? Cheapest
+    /// comparisons first; the in-flight offset walk runs only when every
+    /// aggregate vector already matches.
+    fn shape_matches(&self, cycle: u64) -> bool {
+        let snap = &self.bat.snap;
+        if self.pending_arrivals != snap.pending_arrivals
+            || self.wire_active != snap.wire_active
+            || self.chan_active != snap.chan_active
+            || self.pair_active != snap.pair_active
+            || self.sendq_len != snap.sendq_len
+            || self.vc_arrived != snap.vc_arrived
+            || self.vc_inflight != snap.vc_inflight
+            || self.rr != snap.rr
+        {
+            return false;
+        }
+        for wi in 0..self.wire_active.len() {
+            let mut word = self.wire_active[wi];
+            while word != 0 {
+                let s = wi * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let base = s << self.vc_shift;
+                for idx in 0..self.vc_inflight[s] as u64 {
+                    let slot =
+                        ((self.vc_head[s] + self.vc_arrived[s] + idx as u32) & self.vc_mask) as usize;
+                    if self.vc_arr[base + slot] - cycle
+                        != snap.inflight_off[(s << self.vc_shift) + idx as usize]
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The shape at `c1` recurred with period `period`: replay the largest
+    /// safe number of whole periods in closed form. Returns the new cycle,
+    /// or `None` when not even one period fits inside every margin.
+    fn bulk_apply(
+        &mut self,
+        c1: u64,
+        period: u64,
+        w: &Workload,
+        faults: &mut Option<FaultState>,
+    ) -> Option<u64> {
+        debug_assert!(period >= 1);
+        if self.deliveries == self.bat.snap.deliveries {
+            // A period that delivers nothing can recur forever (pure
+            // in-flight rotation); fast-forwarding it would never
+            // terminate the run. Leave it to the ordinary stepper.
+            return None;
+        }
+        // Largest j such that cycles (c1, c1 + j·period] contain no event
+        // boundary: no cycle-cap crossing, no fault transition, no job
+        // release, and no pair reaching its slice end (so no completion
+        // latch, gate flip or root-turnaround change can occur inside the
+        // window — the margins keep every counter strictly below its
+        // terminal value).
+        let mut j = (self.cfg.max_cycles - c1) / period;
+        if let Some(t) = faults.as_ref().and_then(|f| f.next_transition()) {
+            debug_assert!(t > c1);
+            j = j.min((t - 1 - c1) / period);
+        }
+        if let Some(r) = self.next_release(c1) {
+            j = j.min((r - 1 - c1) / period);
+        }
+        for ti in 0..self.ntrees {
+            let len = self.tree_len[ti];
+            if len == 0 {
+                continue;
+            }
+            for v in 0..self.n {
+                let p = ti * self.n + v;
+                let fr = self.reduced[p] - self.bat.snap.reduced[p];
+                if let Some(head) = (len - 1).saturating_sub(self.reduced[p]).checked_div(fr) {
+                    j = j.min(head);
+                }
+                let dl = self.delivered[p] - self.bat.snap.delivered[p];
+                if let Some(head) = (len - 1).saturating_sub(self.delivered[p]).checked_div(dl) {
+                    j = j.min(head);
+                }
+            }
+        }
+        if j == 0 {
+            return None;
+        }
+        let c_end = c1 + j * period;
+        self.bulk_streams(j, c_end, faults);
+        for ti in 0..self.ntrees {
+            self.bulk_tree(ti, j, w);
+        }
+        self.bulk_counters(j, c_end);
+        Some(c_end)
+    }
+
+    /// Advances every flowing stream's ring heads by `j` periods, restamps
+    /// the surviving in-flight entries relative to the window end, and
+    /// replays the per-transmit fault-detector reset.
+    fn bulk_streams(&mut self, j: u64, c_end: u64, faults: &mut Option<FaultState>) {
+        let snap = &self.bat.snap;
+        for s in 0..self.stream_chan.len() {
+            // Per-period transmit rate: for a reduce stream every fire of
+            // the destination pair pops exactly one flit from it, and for
+            // a broadcast stream every relay/turnaround delivery of the
+            // destination does — in steady shape, pushes = transmissions =
+            // pops per period (queue lengths and occupancies recur).
+            let dp = self.stream_dst_pair[s] as usize;
+            let sp = self.stream_src_pair[s] as usize;
+            let (dp_c1, sp_c1, dp_c0) = if self.ready_slot[s] != NONE {
+                (self.reduced[dp], self.reduced[sp], snap.reduced[dp])
+            } else {
+                (self.delivered[dp], self.delivered[sp], snap.delivered[dp])
+            };
+            let r = dp_c1 - dp_c0;
+            if r == 0 {
+                continue;
+            }
+            let adv = j * r;
+            // Flits staged in the source queue at the window start that the
+            // replayed transmits move into the VC ring — and that are still
+            // unconsumed at the window end — must carry their values across
+            // the array boundary, exactly as the per-cycle transmit does.
+            // (Flits produced *during* the window are rewritten later by the
+            // rectangle pass; this covers only pre-window stragglers.)
+            let dp_end = dp_c1 + adv;
+            let sq = self.sendq_len[s] as u64;
+            for e in (sp_c1 - sq).max(dp_end)..sp_c1 {
+                let sq_slot = ((self.sendq_head[s] as u64 + (e - (sp_c1 - sq)))
+                    & self.sq_mask as u64) as usize;
+                let vc_slot = ((self.vc_head[s] as u64 + adv + (e - dp_end))
+                    & self.vc_mask as u64) as usize;
+                self.vc_val[(s << self.vc_shift) + vc_slot] =
+                    self.sendq_val[(s << self.sq_shift) + sq_slot];
+            }
+            self.sendq_head[s] = (self.sendq_head[s].wrapping_add(adv as u32)) & self.sq_mask;
+            self.vc_head[s] = (self.vc_head[s].wrapping_add(adv as u32)) & self.vc_mask;
+            let base = s << self.vc_shift;
+            for idx in 0..self.vc_inflight[s] as u64 {
+                let slot =
+                    ((self.vc_head[s] + self.vc_arrived[s] + idx as u32) & self.vc_mask) as usize;
+                self.vc_arr[base + slot] =
+                    c_end + snap.inflight_off[(s << self.vc_shift) + idx as usize];
+            }
+            if let Some(fs) = faults.as_mut() {
+                // The per-cycle path resets the stream's stall/retry
+                // bookkeeping on every transmit; a stream that flows in
+                // the window must end it reset.
+                fs.note_progress(s);
+            }
+        }
+    }
+
+    /// Replays the value-carrying side effects of tree `ti` over `j`
+    /// periods: root digests/validation, delivery digests, and the values
+    /// of elements still queued at the window end — all recomputed per
+    /// element in `BATCH_BLOCK`-wide passes with the combine vectorized
+    /// over contiguous runs.
+    fn bulk_tree(&mut self, ti: usize, j: u64, w: &Workload) {
+        let len = self.tree_len[ti];
+        if len == 0 {
+            return;
+        }
+        let n = self.n;
+        let kind = self.kind;
+        // Element bounds of the window: every fire and delivery range.
+        // Queue rewrites fall inside (only elements produced during the
+        // window can still be queued at its end — conservation).
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        {
+            let snap = &self.bat.snap;
+            for v in 0..n {
+                let p = ti * n + v;
+                let fr = self.reduced[p] - snap.reduced[p];
+                if fr > 0 {
+                    lo = lo.min(self.reduced[p]);
+                    hi = hi.max(self.reduced[p] + j * fr);
+                }
+                let dl = self.delivered[p] - snap.delivered[p];
+                if dl > 0 {
+                    lo = lo.min(self.delivered[p]);
+                    hi = hi.max(self.delivered[p] + j * dl);
+                }
+            }
+        }
+        if lo >= hi {
+            return;
+        }
+
+        // Queue-rewrite rectangles per node: which element ranges of each
+        // stream's post-window rings need recomputed values. Surviving
+        // pre-window elements keep their slots and bits (heads advance by
+        // exactly the pop count), so only elements *produced during the
+        // window* and still resident are written — `[produced-start,
+        // ring-end)` clipped per ring by conservation:
+        // `consumed-end + occupancy + staged = produced-end`.
+        for v in 0..n {
+            self.rect_r[v] = QRECT_NONE;
+            self.rect_b[v] = QRECT_NONE;
+            let p = ti * n + v;
+            if kind.reduces() {
+                let s = self.reduce_out[p];
+                if s != NONE {
+                    let s = s as usize;
+                    let dp = self.stream_dst_pair[s] as usize;
+                    let r = self.reduced[dp] - self.bat.snap.reduced[dp];
+                    if r > 0 {
+                        debug_assert_eq!(r, self.reduced[p] - self.bat.snap.reduced[p]);
+                        let jr = j * r;
+                        let sp_end = self.reduced[p] + jr;
+                        let dp_end = self.reduced[dp] + jr;
+                        let occ = (self.vc_arrived[s] + self.vc_inflight[s]) as u64;
+                        let sq = self.sendq_len[s] as u64;
+                        debug_assert_eq!(dp_end + occ + sq, sp_end);
+                        self.rect_r[v] = QRect {
+                            stream: s as u32,
+                            vc_first: dp_end,
+                            vc_lo: dp_end.max(self.reduced[p]),
+                            vc_hi: dp_end + occ,
+                            sq_first: sp_end - sq,
+                            sq_lo: (sp_end - sq).max(self.reduced[p]),
+                            sq_hi: sp_end,
+                        };
+                    }
+                }
+            }
+            if kind.broadcasts() {
+                let s = self.bcast_in[p];
+                if s != NONE {
+                    let s = s as usize;
+                    let sp = self.stream_src_pair[s] as usize;
+                    let r = self.delivered[p] - self.bat.snap.delivered[p];
+                    if r > 0 {
+                        debug_assert_eq!(r, self.delivered[sp] - self.bat.snap.delivered[sp]);
+                        let jr = j * r;
+                        let sp_end = self.delivered[sp] + jr;
+                        let dp_end = self.delivered[p] + jr;
+                        let occ = (self.vc_arrived[s] + self.vc_inflight[s]) as u64;
+                        let sq = self.sendq_len[s] as u64;
+                        debug_assert_eq!(dp_end + occ + sq, sp_end);
+                        self.rect_b[v] = QRect {
+                            stream: s as u32,
+                            vc_first: dp_end,
+                            vc_lo: dp_end.max(self.delivered[sp]),
+                            vc_hi: dp_end + occ,
+                            sq_first: sp_end - sq,
+                            sq_lo: (sp_end - sq).max(self.delivered[sp]),
+                            sq_hi: sp_end,
+                        };
+                    }
+                }
+            }
+        }
+
+        let offset = self.tree_off[ti];
+        let root = self.tree_root[ti] as usize;
+        let rp = ti * n + root;
+        let topo_lo = self.topo_off[ti] as usize;
+        let topo_hi = self.topo_off[ti + 1] as usize;
+        let track = self.track_jobs;
+        let job = self.tree_job[ti] as usize;
+        let root_fire_lo = self.reduced[rp];
+        let root_fire_hi = root_fire_lo + j * (root_fire_lo - self.bat.snap.reduced[rp]);
+
+        let mut blk = lo;
+        while blk < hi {
+            let bw = ((hi - blk) as usize).min(BATCH_BLOCK);
+            let b_end = blk + bw as u64;
+
+            if kind.reduces() {
+                // Pass A: recompute R(v) = combine(local input, children)
+                // bottom-up for the whole block — bit-identical to the
+                // per-cycle engine, which combines the same inputs in the
+                // same CSR order.
+                for t_idx in topo_lo..topo_hi {
+                    let v = self.topo_nodes[t_idx] as usize;
+                    let p = ti * n + v;
+                    {
+                        let row =
+                            &mut self.rblock[v * BATCH_BLOCK..v * BATCH_BLOCK + bw];
+                        w.input_run(v as u32, offset + blk, row);
+                    }
+                    let in_lo = self.reduce_in_off[p] as usize;
+                    let in_hi = self.reduce_in_off[p + 1] as usize;
+                    for i in in_lo..in_hi {
+                        let s = self.in_ids[i] as usize;
+                        let c = self.stream_src_node[s] as usize;
+                        let (acc, xs) = two_rows(&mut self.rblock, v, c, bw);
+                        w.combine_run(offset + blk, acc, xs);
+                    }
+                }
+                // Root side effects for fires in this block: validation,
+                // job hash, delivery digest (reduce-family roots deliver
+                // at the fire).
+                let flo = root_fire_lo.max(blk);
+                let fhi = root_fire_hi.min(b_end);
+                for e in flo..fhi {
+                    let ge = offset + e;
+                    let acc = self.rblock[root * BATCH_BLOCK + (e - blk) as usize];
+                    if !w.value_close_at(ge, acc, w.expected(ge)) {
+                        self.mismatches += 1;
+                        if track {
+                            self.job_mismatches[job] += 1;
+                        }
+                    }
+                    if track {
+                        self.job_hash[job] =
+                            self.job_hash[job].wrapping_add(hash_entry(ge, acc));
+                    }
+                    self.value_digest = self
+                        .value_digest
+                        .wrapping_add(delivery_digest_entry(root as u64, ge, acc));
+                }
+                // Reduce-stream queue rewrites: the value a node pushed for
+                // element e is R(node) at e.
+                for t_idx in topo_lo..topo_hi {
+                    let v = self.topo_nodes[t_idx] as usize;
+                    let rect = self.rect_r[v];
+                    if rect.stream != NONE {
+                        self.write_rect_from_row(&rect, blk, b_end, v);
+                    }
+                }
+            }
+
+            if kind.broadcasts() {
+                // Pass B: the broadcast value B(e) lands in the root's
+                // scratch row — the allreduce turnaround already put it
+                // there (B = R(root)); root-sourced collectives fill it
+                // from the workload.
+                match kind {
+                    Collective::Allreduce => {}
+                    Collective::Broadcast => {
+                        let row =
+                            &mut self.rblock[root * BATCH_BLOCK..root * BATCH_BLOCK + bw];
+                        w.input_run(root as u32, offset + blk, row);
+                    }
+                    _ => {
+                        for k in 0..bw {
+                            self.rblock[root * BATCH_BLOCK + k] =
+                                w.expected(offset + blk + k as u64);
+                        }
+                    }
+                }
+                for v in 0..n {
+                    let p = ti * n + v;
+                    let dl = self.delivered[p] - self.bat.snap.delivered[p];
+                    // The allreduce root's deliveries were already replayed
+                    // in pass A (it delivers at the fire, not as a relay).
+                    if dl > 0 && (v != root || kind.root_sources_broadcast()) {
+                        let dlo = self.delivered[p].max(blk);
+                        let dhi = (self.delivered[p] + j * dl).min(b_end);
+                        for e in dlo..dhi {
+                            let ge = offset + e;
+                            let val = self.rblock[root * BATCH_BLOCK + (e - blk) as usize];
+                            if v == root {
+                                // Broadcast/allgather source: hash + digest,
+                                // no validation (it emits, it doesn't check).
+                                if track {
+                                    self.job_hash[job] =
+                                        self.job_hash[job].wrapping_add(hash_entry(ge, val));
+                                }
+                            } else {
+                                let expect = match kind {
+                                    Collective::Broadcast => w.input(root as u32, ge),
+                                    _ => w.expected(ge),
+                                };
+                                if !w.value_close_at(ge, val, expect) {
+                                    self.mismatches += 1;
+                                    if track {
+                                        self.job_mismatches[job] += 1;
+                                    }
+                                }
+                            }
+                            self.value_digest = self
+                                .value_digest
+                                .wrapping_add(delivery_digest_entry(v as u64, ge, val));
+                        }
+                    }
+                    let rect = self.rect_b[v];
+                    if rect.stream != NONE {
+                        self.write_rect_from_row(&rect, blk, b_end, root);
+                    }
+                }
+            }
+
+            blk = b_end;
+        }
+    }
+
+    /// Writes the block-clipped portions of one rewrite rectangle from
+    /// scratch row `row` into the stream's (already advanced) rings.
+    #[inline]
+    fn write_rect_from_row(&mut self, rect: &QRect, blk: u64, b_end: u64, row: usize) {
+        let s = rect.stream as usize;
+        let vlo = rect.vc_lo.max(blk);
+        let vhi = rect.vc_hi.min(b_end);
+        for e in vlo..vhi {
+            let slot =
+                ((self.vc_head[s] as u64 + (e - rect.vc_first)) & self.vc_mask as u64) as usize;
+            self.vc_val[(s << self.vc_shift) + slot] =
+                self.rblock[row * BATCH_BLOCK + (e - blk) as usize];
+        }
+        let qlo = rect.sq_lo.max(blk);
+        let qhi = rect.sq_hi.min(b_end);
+        for e in qlo..qhi {
+            let slot =
+                ((self.sendq_head[s] as u64 + (e - rect.sq_first)) & self.sq_mask as u64) as usize;
+            self.sendq_val[(s << self.sq_shift) + slot] =
+                self.rblock[row * BATCH_BLOCK + (e - blk) as usize];
+        }
+    }
+
+    /// Bulk-advances every progress counter by `j` times its per-period
+    /// delta. Runs last: the element passes need the pre-window values.
+    fn bulk_counters(&mut self, j: u64, c_end: u64) {
+        let snap = &self.bat.snap;
+        for p in 0..self.reduced.len() {
+            self.reduced[p] += j * (self.reduced[p] - snap.reduced[p]);
+            self.delivered[p] += j * (self.delivered[p] - snap.delivered[p]);
+        }
+        self.deliveries += j * (self.deliveries - snap.deliveries);
+        for ti in 0..self.ntrees {
+            self.tree_deliveries[ti] +=
+                j * (self.tree_deliveries[ti] - snap.tree_deliveries[ti]);
+        }
+        for jb in 0..self.job_deliveries.len() {
+            self.job_deliveries[jb] += j * (self.job_deliveries[jb] - snap.job_deliveries[jb]);
+        }
+        for c in 0..self.channel_flits.len() {
+            self.channel_flits[c] += j * (self.channel_flits[c] - snap.channel_flits[c]);
+        }
+        // The fused fast path has already completed arrivals for the cycle
+        // after the cut; the restamped wires preserve that at the new cut.
+        if self.arrivals_done != 0 {
+            self.arrivals_done = c_end + 1;
+        }
     }
 }
 #[cfg(test)]

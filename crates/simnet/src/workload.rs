@@ -290,6 +290,77 @@ impl Workload {
     pub fn expected(&self, elem: u64) -> u64 {
         self.expected[elem as usize]
     }
+
+    /// Fills `out[i] = input(node, start + i)` for a contiguous element
+    /// run with the segment lookup and operator dispatch hoisted out of
+    /// the per-element loop: the batched steady-state engine reduces whole
+    /// element blocks at once, and calling [`Workload::input`] per element
+    /// would re-run the segment search (a binary search on segmented
+    /// workloads) every time. Inside one segment the fill is a tight
+    /// [`mix`] / [`mix_f64`] loop.
+    pub fn input_run(&self, node: u32, start: u64, out: &mut [u64]) {
+        let end = start + out.len() as u64;
+        debug_assert!(node < self.nodes && end <= self.m);
+        let mut e = start;
+        let mut i = 0usize;
+        while e < end {
+            let seg = self.seg_index(e);
+            let stop = self.seg_end[seg].min(end);
+            let cnt = (stop - e) as usize;
+            let slot = &mut out[i..i + cnt];
+            if !self.member(seg, node) {
+                slot.fill(self.seg_kind[seg].identity());
+            } else {
+                match self.seg_kind[seg] {
+                    ReduceKind::WrappingU64 => {
+                        for (k, o) in slot.iter_mut().enumerate() {
+                            *o = mix(node, e + k as u64);
+                        }
+                    }
+                    ReduceKind::FloatF64 => {
+                        for (k, o) in slot.iter_mut().enumerate() {
+                            *o = mix_f64(node, e + k as u64).to_bits();
+                        }
+                    }
+                }
+            }
+            e = stop;
+            i += cnt;
+        }
+    }
+
+    /// `acc[i] = combine_at(start + i, acc[i], xs[i])` over a contiguous
+    /// element run, dispatching the operator once per segment run instead
+    /// of per element — the `u64` case compiles to a vectorizable
+    /// wrapping-add loop. Bit-exact against per-element
+    /// [`Workload::combine_at`] (the f64 path performs the identical
+    /// additions in the identical order).
+    pub fn combine_run(&self, start: u64, acc: &mut [u64], xs: &[u64]) {
+        assert_eq!(acc.len(), xs.len());
+        let end = start + acc.len() as u64;
+        debug_assert!(end <= self.m);
+        let mut e = start;
+        let mut i = 0usize;
+        while e < end {
+            let seg = self.seg_index(e);
+            let stop = self.seg_end[seg].min(end);
+            let cnt = (stop - e) as usize;
+            match self.seg_kind[seg] {
+                ReduceKind::WrappingU64 => {
+                    for k in i..i + cnt {
+                        acc[k] = acc[k].wrapping_add(xs[k]);
+                    }
+                }
+                ReduceKind::FloatF64 => {
+                    for k in i..i + cnt {
+                        acc[k] = (f64::from_bits(acc[k]) + f64::from_bits(xs[k])).to_bits();
+                    }
+                }
+            }
+            e = stop;
+            i += cnt;
+        }
+    }
 }
 
 #[inline]
