@@ -24,6 +24,7 @@
 //!                   nightly catalog)
 //!   perf-snapshot   engine throughput vs the reference stepper -> JSON
 //!   sched-sweep     multi-tenant offered-load sweep -> BENCH_sched.json
+//!   fabric-sweep    fabric-manager throughput sweep + soak -> BENCH_fabric.json
 //!   collectives     sharded-training collectives vs host rings -> JSON
 //!   all             everything above
 //! ```
@@ -137,6 +138,21 @@ fn main() {
                 std::path::Path::new(out),
             );
         }
+        "fabric-sweep" => {
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("BENCH_fabric.json");
+            pf_bench::fabric_sweep::print_fabric_sweep(
+                opt_u64("--q", 7.min(max_q).max(3) | 1),
+                opt_u64("--jobs", 400) as usize,
+                opt_u64("--soak", 1_000_000) as usize,
+                opt_u64("--seed", 2026),
+                std::path::Path::new(out),
+            );
+        }
         "evenq-search" => sims::print_evenq_search(opt_u64("--attempts", 500) as usize),
         "topo-compare" => pf_bench::topo_compare::print_topo_compare(flag("--full")),
         "torus-compare" => sims::print_torus_compare(opt_u64("--m", 200_000)),
@@ -175,7 +191,7 @@ fn main() {
             eprintln!("known: table1 fig1 fig2 table2 fig4 fig5a fig5b disjoint-sweep totient");
             eprintln!(
                 "       sim-bandwidth sim-crossover sim-split sim-buffers perf-snapshot \
-                 sched-sweep collectives all"
+                 sched-sweep fabric-sweep collectives all"
             );
             std::process::exit(2);
         }
@@ -206,6 +222,7 @@ fn main() {
             "sim-injection",
             "sim-faults",
             "sched-sweep",
+            "fabric-sweep",
             "collectives",
             "evenq-search",
             "topo-compare",

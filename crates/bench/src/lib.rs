@@ -7,6 +7,7 @@
 
 pub mod collectives;
 pub mod csv;
+pub mod fabric_sweep;
 pub mod faults;
 pub mod figures;
 pub mod par;

@@ -62,6 +62,7 @@ pub const REGIMES: [&str; 4] = ["latency", "saturated", "fault_retention", "cont
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+static FREED_BYTES: AtomicU64 = AtomicU64::new(0);
 
 /// A `System`-backed allocator that counts every allocation. Installed as
 /// the `experiments` binary's `#[global_allocator]`; code linked against
@@ -84,12 +85,25 @@ unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        FREED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        FREED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
+}
+
+/// Bytes currently live on the heap (allocated − freed) as seen by the
+/// counting allocator — 0 when it is not installed. The fabric soak uses
+/// deltas of this gauge to prove the manager's memory stays flat across
+/// a million jobs; like the allocation counts, the value at a quiesce
+/// point is a pure function of the code path, so it is safe to commit in
+/// byte-deterministic benchmark JSON.
+#[must_use]
+pub fn live_bytes() -> u64 {
+    ALLOCATED_BYTES.load(Ordering::Relaxed).saturating_sub(FREED_BYTES.load(Ordering::Relaxed))
 }
 
 /// Snapshot of the counters, for before/after deltas around a region.

@@ -1,0 +1,161 @@
+//! Stable structural fingerprints for topologies, plans and fault sets.
+//!
+//! The fabric manager caches derived plans keyed by *(topology fingerprint,
+//! fault-set fingerprint, tree subset)*; a fingerprint must therefore be
+//! cheap, deterministic across runs, and sensitive to anything that changes
+//! the derived plan. FNV-1a over the structural fields satisfies all three:
+//! it is a pure integer fold (no hasher state, no randomization) and the
+//! same bytes always produce the same 64-bit value.
+//!
+//! These are cache keys, not cryptographic digests: collisions are
+//! astronomically unlikely for the handful of distinct topologies and fault
+//! epochs a fabric sees, and a collision would only merge two cache slots,
+//! never corrupt a plan (the cache stores full values).
+
+use crate::plan::AllreducePlan;
+use crate::recovery::FaultSet;
+use pf_graph::{Graph, RootedTree};
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one `u64` into an FNV-1a state, byte by byte (little-endian).
+#[inline]
+pub fn fnv1a_u64(mut h: u64, word: u64) -> u64 {
+    for b in word.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Folds a slice of `u64`s, length-prefixed so `[a] ++ [b]` and `[a, b]`
+/// hash differently.
+#[inline]
+pub fn fnv1a_slice(mut h: u64, words: &[u64]) -> u64 {
+    h = fnv1a_u64(h, words.len() as u64);
+    for &w in words {
+        h = fnv1a_u64(h, w);
+    }
+    h
+}
+
+/// Structural fingerprint of a graph: vertex count plus every edge's
+/// endpoint pair in edge-id order. Two graphs fingerprint equal iff they
+/// have identical vertex counts and identical edge lists (same ids, same
+/// endpoints) — exactly the notion of equality plan construction depends
+/// on.
+pub fn graph_fingerprint(g: &Graph) -> u64 {
+    let mut h = fnv1a_u64(FNV_OFFSET, g.num_vertices() as u64);
+    h = fnv1a_u64(h, g.num_edges() as u64);
+    for (_, u, v) in g.edges() {
+        h = fnv1a_u64(h, u as u64);
+        h = fnv1a_u64(h, v as u64);
+    }
+    h
+}
+
+/// Fingerprint of one rooted tree: root plus the parent of every vertex in
+/// vertex order.
+fn tree_fold(mut h: u64, t: &RootedTree) -> u64 {
+    h = fnv1a_u64(h, t.root() as u64);
+    let mut edges: Vec<(u32, u32)> = t.edges().collect();
+    edges.sort_unstable();
+    h = fnv1a_u64(h, edges.len() as u64);
+    for (child, parent) in edges {
+        h = fnv1a_u64(h, child as u64);
+        h = fnv1a_u64(h, parent as u64);
+    }
+    h
+}
+
+/// Structural fingerprint of a full plan: the graph plus every tree (root
+/// and oriented edges) in tree order. Bandwidths and congestion are
+/// *derived* from these fields, so they are deliberately excluded — two
+/// plans with equal fingerprints price identically.
+pub fn plan_fingerprint(plan: &AllreducePlan) -> u64 {
+    let mut h = graph_fingerprint(&plan.graph);
+    h = fnv1a_u64(h, plan.trees.len() as u64);
+    for t in &plan.trees {
+        h = tree_fold(h, t);
+    }
+    h
+}
+
+impl FaultSet {
+    /// Set-semantics fingerprint: failed links and routers are sorted and
+    /// deduplicated before folding, so `{3, 7}` and `{7, 3, 7}` fingerprint
+    /// identically (they delete the same elements).
+    pub fn fingerprint(&self) -> u64 {
+        let mut edges: Vec<u64> = self.edges.iter().map(|&e| e as u64).collect();
+        edges.sort_unstable();
+        edges.dedup();
+        let mut routers: Vec<u64> = self.routers.iter().map(|&r| r as u64).collect();
+        routers.sort_unstable();
+        routers.dedup();
+        let h = fnv1a_slice(FNV_OFFSET, &edges);
+        fnv1a_slice(h, &routers)
+    }
+
+    /// Set union with `other`, sorted and deduplicated — the canonical form
+    /// the fabric manager accumulates fault deltas into.
+    pub fn union(&self, other: &FaultSet) -> FaultSet {
+        let mut edges = self.edges.clone();
+        edges.extend_from_slice(&other.edges);
+        edges.sort_unstable();
+        edges.dedup();
+        let mut routers = self.routers.clone();
+        routers.extend_from_slice(&other.routers);
+        routers.sort_unstable();
+        routers.dedup();
+        FaultSet { edges, routers }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_fingerprint_is_stable_and_discriminating() {
+        let a = AllreducePlan::low_depth(5).unwrap();
+        let b = AllreducePlan::low_depth(5).unwrap();
+        let c = AllreducePlan::low_depth(7).unwrap();
+        assert_eq!(graph_fingerprint(&a.graph), graph_fingerprint(&b.graph));
+        assert_ne!(graph_fingerprint(&a.graph), graph_fingerprint(&c.graph));
+    }
+
+    #[test]
+    fn plan_fingerprint_sees_tree_subsets() {
+        let plan = AllreducePlan::low_depth(5).unwrap();
+        let full = plan_fingerprint(&plan);
+        let sub = plan_fingerprint(&plan.tree_subset(&[0, 2]));
+        assert_ne!(full, sub);
+        // Same subset twice -> same fingerprint.
+        assert_eq!(sub, plan_fingerprint(&plan.tree_subset(&[0, 2])));
+    }
+
+    #[test]
+    fn fault_fingerprint_has_set_semantics() {
+        let a = FaultSet::links(vec![3, 7]);
+        let b = FaultSet::links(vec![7, 3, 7]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), FaultSet::links(vec![3]).fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            FaultSet { edges: vec![3], routers: vec![7] }.fingerprint()
+        );
+        assert_ne!(FaultSet::none().fingerprint(), FaultSet::links(vec![0]).fingerprint());
+    }
+
+    #[test]
+    fn union_is_sorted_and_deduplicated() {
+        let a = FaultSet { edges: vec![9, 2], routers: vec![1] };
+        let b = FaultSet { edges: vec![2, 4], routers: vec![] };
+        let u = a.union(&b);
+        assert_eq!(u.edges, vec![2, 4, 9]);
+        assert_eq!(u.routers, vec![1]);
+        assert_eq!(u.fingerprint(), b.union(&a).fingerprint());
+    }
+}

@@ -17,6 +17,8 @@
 //!   split, aggregate bandwidth, optimal bounds (Corollary 7.1);
 //! * [`verify`] — executable statements of the paper's theorems, used by
 //!   tests, benches and the simulator;
+//! * [`fingerprint`] — deterministic FNV-1a structural fingerprints for
+//!   graphs, plans and fault sets (the fabric manager's cache keys);
 //! * [`recovery`] — degraded-plan rebuild after link/router faults:
 //!   surviving trees are kept, broken trees repaired or dropped under the
 //!   healthy congestion bound, and the bandwidth loss quantified;
@@ -54,6 +56,7 @@ pub mod congestion;
 pub mod construction;
 pub mod disjoint;
 pub mod evenq;
+pub mod fingerprint;
 pub mod hamiltonian;
 pub mod logical;
 pub mod lowdepth;
@@ -71,5 +74,6 @@ pub use construction::{
 };
 pub use plan::{AllreducePlan, Solution};
 pub use rational::Rational;
-pub use recovery::{rebuild_degraded, DegradedPlan, FaultSet, RebuildError};
+pub use fingerprint::{graph_fingerprint, plan_fingerprint};
+pub use recovery::{extend_degraded, rebuild_degraded, DegradedPlan, FaultSet, RebuildError};
 pub use starprod::StarProductDisjoint;

@@ -86,6 +86,20 @@ impl AllreducePlan {
         }
     }
 
+    /// Assembles a plan from a substrate graph and a ready-made spanning
+    /// tree set, re-deriving bandwidths and congestion with Algorithm 1.
+    /// This is how a rebuilt [`crate::recovery::DegradedPlan`] is promoted
+    /// back into a schedulable plan; the caller vouches that every tree
+    /// spans `graph`.
+    pub fn from_tree_set(
+        q: u64,
+        solution: Solution,
+        graph: Graph,
+        trees: Vec<RootedTree>,
+    ) -> Self {
+        Self::from_parts(q, solution, graph, trees)
+    }
+
     /// Builds the low-depth plan (Algorithm 3). Odd prime powers only.
     pub fn low_depth(q: u64) -> Result<Self, String> {
         let pf = PolarFly::new(q);

@@ -1,0 +1,305 @@
+//! Checkpoint / restore for the fabric manager.
+//!
+//! Format `pf-fabric-ckpt-v1`: versioned, line-based ASCII, integers only
+//! (the digest and fingerprints are decimal `u64`s) — like the bench JSON
+//! files it is byte-deterministic, so a round trip through
+//! [`FabricManager::checkpoint`] → [`FabricManager::restore`] →
+//! [`FabricManager::checkpoint`] is byte-identical, and two managers fed
+//! the same trace checkpoint identically.
+//!
+//! What is saved: the virtual clock, every aggregate counter, the latency
+//! histogram, the rolling digest, the active fault set, and both job
+//! queues (full specs, ingestion order). What is deliberately *not*
+//! saved: the plan cache and the degraded plan. Both are pure functions
+//! of `(healthy plan, fault set)` — restore re-derives the degraded plan
+//! from the saved fault set (without counting a repair event; the saved
+//! counters already account for it) and starts with a cold cache, whose
+//! stats are the only report fields a restored manager may differ in.
+
+use crate::manager::{FabricConfig, FabricManager, LATENCY_BUCKETS};
+use pf_allreduce::recovery::rebuild_degraded;
+use pf_allreduce::{AllreducePlan, FaultSet};
+use pf_sched::{validate_spec, JobSpec};
+use pf_simnet::{Collective, ReduceKind};
+use std::collections::VecDeque;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// The checkpoint format's magic first line.
+pub const CHECKPOINT_MAGIC: &str = "pf-fabric-ckpt-v1";
+
+/// Why a checkpoint could not be restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The first line is not [`CHECKPOINT_MAGIC`].
+    BadMagic,
+    /// The text ended before the `end` marker.
+    Truncated,
+    /// A line did not parse (1-based line number and what was expected).
+    Malformed {
+        /// 1-based line number in the checkpoint text.
+        line: usize,
+        /// What the parser expected there.
+        expected: &'static str,
+    },
+    /// The saved fault set does not apply to the given plan (wrong plan,
+    /// or it would partition the fabric).
+    FaultMismatch,
+    /// A saved job spec is invalid for the given plan.
+    BadJob(u32),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => {
+                write!(f, "checkpoint does not start with {CHECKPOINT_MAGIC}")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint ends before the end marker"),
+            CheckpointError::Malformed { line, expected } => {
+                write!(f, "checkpoint line {line}: expected {expected}")
+            }
+            CheckpointError::FaultMismatch => {
+                write!(f, "saved fault set does not apply to this plan")
+            }
+            CheckpointError::BadJob(id) => write!(f, "saved job {id} is invalid for this plan"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn push_job(out: &mut String, s: &JobSpec) {
+    let kind = match s.kind {
+        ReduceKind::WrappingU64 => "u64",
+        ReduceKind::FloatF64 => "f64",
+    };
+    let participants = match &s.participants {
+        None => "-".to_string(),
+        Some(p) => {
+            p.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+        }
+    };
+    writeln!(
+        out,
+        "job {} {} {} {kind} {} {} {participants}",
+        s.id,
+        s.arrival,
+        s.elems,
+        s.priority,
+        s.collective.name()
+    )
+    .expect("writing to a String cannot fail");
+}
+
+impl FabricManager {
+    /// Serializes the manager's resumable state (see module docs).
+    #[must_use]
+    pub fn checkpoint(&self) -> String {
+        let mut out = String::new();
+        let w = &mut out;
+        writeln!(w, "{CHECKPOINT_MAGIC}").unwrap();
+        writeln!(w, "now {} {}", self.now, self.last_event).unwrap();
+        writeln!(
+            w,
+            "counters {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            self.submitted,
+            self.accepted,
+            self.deferred,
+            self.rejected,
+            self.invalid,
+            self.completed,
+            self.total_elems,
+            self.epochs,
+            self.waves,
+            self.makespan,
+            self.mismatches,
+            self.max_comb,
+            self.incremental_repairs,
+            self.full_rebuilds,
+            self.heals,
+            self.fault_events
+        )
+        .unwrap();
+        writeln!(
+            w,
+            "sums {} {} {} {}",
+            self.latency_sum, self.queueing_sum, self.max_latency, self.digest
+        )
+        .unwrap();
+        let hist =
+            self.latency_hist.iter().map(u64::to_string).collect::<Vec<_>>().join(" ");
+        writeln!(w, "hist {hist}").unwrap();
+        let faults =
+            self.faults.edges.iter().map(u32::to_string).collect::<Vec<_>>().join(" ");
+        writeln!(w, "faults {}{}{faults}", self.faults.edges.len(), if faults.is_empty() { "" } else { " " }).unwrap();
+        writeln!(w, "ready {}", self.ready.len()).unwrap();
+        for s in &self.ready {
+            push_job(w, s);
+        }
+        writeln!(w, "deferred {}", self.deferred_q.len()).unwrap();
+        for s in &self.deferred_q {
+            push_job(w, s);
+        }
+        writeln!(w, "end").unwrap();
+        out
+    }
+
+    /// Reconstructs a manager from a checkpoint taken on the same healthy
+    /// plan. The degraded plan is re-derived from the saved fault set;
+    /// the cache starts cold (its stats are the only report fields that
+    /// may differ from the checkpointed manager's).
+    pub fn restore(
+        plan: AllreducePlan,
+        cfg: FabricConfig,
+        text: &str,
+    ) -> Result<FabricManager, CheckpointError> {
+        let mut p = Parser { lines: text.lines().enumerate() };
+        if p.next_line()?.1 != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let mut m = FabricManager::new(plan, cfg);
+
+        let now = p.fields("now", 2)?;
+        (m.now, m.last_event) = (now[0], now[1]);
+        let c = p.fields("counters", 16)?;
+        m.submitted = c[0];
+        m.accepted = c[1];
+        m.deferred = c[2];
+        m.rejected = c[3];
+        m.invalid = c[4];
+        m.completed = c[5];
+        m.total_elems = c[6];
+        m.epochs = c[7];
+        m.waves = c[8];
+        m.makespan = c[9];
+        m.mismatches = c[10];
+        m.max_comb = u32::try_from(c[11])
+            .map_err(|_| CheckpointError::Malformed { line: 3, expected: "u32 max_comb" })?;
+        m.incremental_repairs = c[12];
+        m.full_rebuilds = c[13];
+        m.heals = c[14];
+        m.fault_events = c[15];
+        let s = p.fields("sums", 4)?;
+        (m.latency_sum, m.queueing_sum, m.max_latency, m.digest) = (s[0], s[1], s[2], s[3]);
+        let hist = p.fields("hist", LATENCY_BUCKETS)?;
+        m.latency_hist.copy_from_slice(&hist);
+
+        let (line, text) = p.next_line()?;
+        let mut it = text.split_whitespace();
+        if it.next() != Some("faults") {
+            return Err(CheckpointError::Malformed { line, expected: "faults <n> <edges...>" });
+        }
+        let n: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or(CheckpointError::Malformed { line, expected: "fault count" })?;
+        let edges: Vec<u32> = it
+            .map(str::parse)
+            .collect::<Result<_, _>>()
+            .map_err(|_| CheckpointError::Malformed { line, expected: "u32 edge ids" })?;
+        if edges.len() != n {
+            return Err(CheckpointError::Malformed { line, expected: "matching fault count" });
+        }
+        if edges.iter().any(|&e| e >= m.healthy.graph.num_edges()) {
+            return Err(CheckpointError::FaultMismatch);
+        }
+        if !edges.is_empty() {
+            let faults = FaultSet::links(edges);
+            let degraded = rebuild_degraded(&m.healthy, &faults)
+                .map_err(|_| CheckpointError::FaultMismatch)?;
+            m.current = Arc::new(degraded.to_plan(m.healthy.q));
+            m.degraded = Some(degraded);
+            m.fault_fp = faults.fingerprint();
+            m.faults = faults;
+        }
+
+        m.ready = p.queue(&m.healthy)?;
+        m.deferred_q = p.queue(&m.healthy)?;
+        m.queued_ids = m.ready.iter().chain(&m.deferred_q).map(|s| s.id).collect();
+        m.ready_elems = m.ready.iter().map(|s| s.elems).sum();
+        if p.next_line()?.1 != "end" {
+            return Err(CheckpointError::Truncated);
+        }
+        Ok(m)
+    }
+}
+
+struct Parser<'t> {
+    lines: std::iter::Enumerate<std::str::Lines<'t>>,
+}
+
+impl<'t> Parser<'t> {
+    /// Current 1-based line number of the last line returned.
+    fn next_line(&mut self) -> Result<(usize, &'t str), CheckpointError> {
+        self.lines.next().map(|(i, l)| (i + 1, l)).ok_or(CheckpointError::Truncated)
+    }
+
+    /// `<tag> <u64>{count}` lines.
+    fn fields(&mut self, tag: &'static str, count: usize) -> Result<Vec<u64>, CheckpointError> {
+        let (line, text) = self.next_line()?;
+        let mut it = text.split_whitespace();
+        if it.next() != Some(tag) {
+            return Err(CheckpointError::Malformed { line, expected: tag });
+        }
+        let vals: Vec<u64> = it
+            .map(str::parse)
+            .collect::<Result<_, _>>()
+            .map_err(|_| CheckpointError::Malformed { line, expected: "u64 fields" })?;
+        if vals.len() != count {
+            return Err(CheckpointError::Malformed { line, expected: "exact field count" });
+        }
+        Ok(vals)
+    }
+
+    /// `ready <n>` / `deferred <n>` followed by n `job` lines.
+    fn queue(&mut self, plan: &AllreducePlan) -> Result<VecDeque<JobSpec>, CheckpointError> {
+        let (line, text) = self.next_line()?;
+        let mut it = text.split_whitespace();
+        let tag = it.next();
+        if tag != Some("ready") && tag != Some("deferred") {
+            return Err(CheckpointError::Malformed { line, expected: "ready/deferred header" });
+        }
+        let n: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or(CheckpointError::Malformed { line, expected: "queue length" })?;
+        let mut q = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let (line, text) = self.next_line()?;
+            let spec = parse_job(text)
+                .ok_or(CheckpointError::Malformed { line, expected: "job line" })?;
+            validate_spec(&spec, plan).map_err(|_| CheckpointError::BadJob(spec.id))?;
+            q.push_back(spec);
+        }
+        Ok(q)
+    }
+}
+
+fn parse_job(text: &str) -> Option<JobSpec> {
+    let mut it = text.split_whitespace();
+    if it.next() != Some("job") {
+        return None;
+    }
+    let id: u32 = it.next()?.parse().ok()?;
+    let arrival: u64 = it.next()?.parse().ok()?;
+    let elems: u64 = it.next()?.parse().ok()?;
+    let kind = match it.next()? {
+        "u64" => ReduceKind::WrappingU64,
+        "f64" => ReduceKind::FloatF64,
+        _ => return None,
+    };
+    let priority: u32 = it.next()?.parse().ok()?;
+    let collective = Collective::from_name(it.next()?)?;
+    let participants = match it.next()? {
+        "-" => None,
+        list => Some(
+            list.split(',').map(str::parse).collect::<Result<Vec<u32>, _>>().ok()?,
+        ),
+    };
+    if it.next().is_some() {
+        return None;
+    }
+    Some(JobSpec { id, arrival, elems, kind, priority, participants, collective })
+}

@@ -97,6 +97,16 @@ impl<'a> TreeAllocator<'a> {
         self.free.sort_unstable();
     }
 
+    /// Returns every tree to the free pool, as if freshly constructed.
+    /// The fabric manager reuses one allocator across millions of waves,
+    /// so the `tree_edges` precomputation is paid once per plan, not once
+    /// per wave.
+    pub fn reset(&mut self) {
+        self.free.clear();
+        self.free.extend(0..self.plan.trees.len());
+        self.active.fill(0);
+    }
+
     /// Peak combined per-edge congestion of the currently allocated trees.
     #[must_use]
     pub fn max_combined(&self) -> u32 {

@@ -31,11 +31,18 @@
 //! [`pf_simnet::run_with_recovery`] on their private subset plans.
 
 pub mod alloc;
+pub mod error;
 pub mod job;
 pub mod policy;
+pub mod provider;
 pub mod sched;
 
 pub use alloc::TreeAllocator;
+pub use error::SchedError;
 pub use job::{JobRecord, JobSpec};
 pub use policy::Policy;
-pub use sched::{FairnessStats, SchedConfig, SchedReport, Scheduler, WaveRecord};
+pub use provider::{DirectPlans, PlanProvider};
+pub use sched::{
+    fold_job_digest, validate_spec, AdmittedJob, FairnessStats, SchedConfig, SchedReport,
+    Scheduler, WaveAdmission, WaveRecord,
+};

@@ -12,6 +12,7 @@
 //! Everything is a pure function of the inputs: same specs, same config,
 //! same fault schedule → byte-identical [`SchedReport`].
 
+use pf_allreduce::fingerprint::{fnv1a_u64, FNV_OFFSET};
 use pf_allreduce::AllreducePlan;
 use pf_graph::RootedTree;
 use pf_simnet::{
@@ -20,8 +21,10 @@ use pf_simnet::{
 };
 
 use crate::alloc::TreeAllocator;
+use crate::error::SchedError;
 use crate::job::{JobRecord, JobSpec};
 use crate::policy::Policy;
+use crate::provider::{DirectPlans, PlanProvider};
 
 /// Scheduler knobs.
 #[derive(Debug, Clone, Copy)]
@@ -119,6 +122,42 @@ impl SchedReport {
     pub fn trace_rows(&self) -> Vec<JobTraceRow> {
         self.jobs.iter().map(job_trace_row).collect()
     }
+
+    /// Order-sensitive FNV digest over the per-job records: ids, timing,
+    /// tree assignment, value hashes, recovery flags. Two runs that made
+    /// the same decisions for every job digest equal; the fabric manager
+    /// folds the same per-job formula incrementally across epochs, so a
+    /// stream fully ingested before its first wave digests identically to
+    /// the batch path (property-tested in `pf-fabric`).
+    ///
+    /// Wave indices are deliberately excluded — the fabric restarts wave
+    /// numbering every epoch, and the digest tracks *per-job outcomes*,
+    /// not how the run was chunked.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.jobs.iter().fold(FNV_OFFSET, fold_job_digest)
+    }
+}
+
+/// Folds one finished job into a rolling report digest (see
+/// [`SchedReport::digest`]).
+#[must_use]
+pub fn fold_job_digest(mut h: u64, r: &JobRecord) -> u64 {
+    h = fnv1a_u64(h, u64::from(r.spec.id));
+    h = fnv1a_u64(h, r.spec.arrival);
+    h = fnv1a_u64(h, r.spec.elems);
+    h = fnv1a_u64(h, r.admit);
+    h = fnv1a_u64(h, r.start);
+    h = fnv1a_u64(h, r.finish);
+    h = fnv1a_u64(h, r.trees.len() as u64);
+    for &t in &r.trees {
+        h = fnv1a_u64(h, t as u64);
+    }
+    h = fnv1a_u64(h, r.value_hash);
+    h = fnv1a_u64(h, r.mismatches);
+    h = fnv1a_u64(h, u64::from(r.recovered));
+    h = fnv1a_u64(h, u64::from(r.recovery_rounds));
+    h
 }
 
 fn job_trace_row(r: &JobRecord) -> JobTraceRow {
@@ -143,13 +182,25 @@ pub struct Scheduler<'a> {
 }
 
 /// One admitted-but-not-yet-finished job inside a wave.
-struct Admitted {
+#[derive(Debug, Clone)]
+pub struct AdmittedJob {
     /// Index into the spec slice.
-    idx: usize,
-    /// Full-plan tree indices it owns.
-    trees: Vec<usize>,
+    pub idx: usize,
+    /// Full-plan tree indices it owns (sorted ascending).
+    pub trees: Vec<usize>,
     /// Release cycle relative to the wave base.
-    release: u64,
+    pub release: u64,
+}
+
+/// The outcome of planning one wave: who runs, on which trees, and the
+/// combined congestion of the allocation.
+#[derive(Debug, Clone)]
+pub struct WaveAdmission {
+    /// The admitted jobs, in admission order.
+    pub jobs: Vec<AdmittedJob>,
+    /// Peak combined per-edge congestion of this wave's allocation
+    /// (≤ the plan's bound, asserted by the allocator).
+    pub max_combined_congestion: u32,
 }
 
 impl<'a> Scheduler<'a> {
@@ -160,8 +211,8 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Runs the job stream to completion on a healthy fabric.
-    pub fn run(&self, specs: &[JobSpec]) -> Result<SchedReport, String> {
-        self.run_impl(specs, None)
+    pub fn run(&self, specs: &[JobSpec]) -> Result<SchedReport, SchedError> {
+        self.run_epoch(specs, 0, None, &mut DirectPlans)
     }
 
     /// Runs the job stream under fault injection. Fault cycles in
@@ -176,15 +227,28 @@ impl<'a> Scheduler<'a> {
         &self,
         specs: &[JobSpec],
         schedule: &FaultSchedule,
-    ) -> Result<SchedReport, String> {
-        self.run_impl(specs, Some(schedule))
+    ) -> Result<SchedReport, SchedError> {
+        self.run_epoch(specs, 0, Some(schedule), &mut DirectPlans)
     }
 
-    fn run_impl(
+    /// Runs one *epoch*: the full wave loop over `specs`, starting the
+    /// clock at absolute cycle `base`, sourcing subset plans from
+    /// `plans`. [`Scheduler::run`] is exactly `run_epoch(specs, 0, None,
+    /// &mut DirectPlans)`; the fabric manager calls this directly with
+    /// its dispatch cycle and caching provider, so an epoch's records
+    /// carry absolute fabric time.
+    ///
+    /// All `specs` must have `arrival ≤ base` or arrive while the epoch
+    /// runs — arrivals are honored exactly as in the batch path (idle
+    /// skipping, lookahead admission); `base` only shifts where the clock
+    /// starts.
+    pub fn run_epoch(
         &self,
         specs: &[JobSpec],
+        base: u64,
         schedule: Option<&FaultSchedule>,
-    ) -> Result<SchedReport, String> {
+        plans: &mut dyn PlanProvider,
+    ) -> Result<SchedReport, SchedError> {
         let cfg = &self.cfg;
         let n = self.plan.graph.num_vertices();
         validate(specs, cfg, self.plan)?;
@@ -210,15 +274,21 @@ impl<'a> Scheduler<'a> {
         let mut pending: Vec<usize> = (0..specs.len()).collect();
         let mut records: Vec<Option<JobRecord>> = specs.iter().map(|_| None).collect();
         let mut waves: Vec<WaveRecord> = Vec::new();
-        let mut now = 0u64;
+        let mut now = base;
         let mut max_comb = 0u32;
+        // One allocator for the whole epoch: the per-tree edge lists are
+        // precomputed once and `reset` reclaims everything between waves.
+        let mut alloc = TreeAllocator::new(self.plan);
 
         while !pending.is_empty() {
             // Idle-skip to the next arrival if the queue is empty now.
             let earliest = pending.iter().map(|&i| specs[i].arrival).min().expect("non-empty");
             now = now.max(earliest);
 
-            let admitted = self.admit_wave(specs, &mut pending, now, &mut max_comb);
+            alloc.reset();
+            let admission = self.plan_wave(specs, &mut pending, now, &mut alloc);
+            max_comb = max_comb.max(admission.max_combined_congestion);
+            let admitted = &admission.jobs;
             debug_assert!(!admitted.is_empty(), "a wave always admits at least one job");
             let kind = specs[admitted[0].idx].collective;
             debug_assert!(
@@ -230,10 +300,11 @@ impl<'a> Scheduler<'a> {
                 &w,
                 specs,
                 &global_off,
-                &admitted,
+                &admission,
                 kind,
                 now,
                 schedule,
+                plans,
                 &mut records,
                 &mut waves,
             )?;
@@ -257,24 +328,28 @@ impl<'a> Scheduler<'a> {
     }
 
     /// Admits up to `max_concurrent` jobs at wave base `now`, allocating
-    /// trees as it goes. Tree shares rebalance to the visible queue
-    /// depth: with `k` admission slots still open and `f` free trees,
-    /// the next job receives `max(min_trees, f / k)` trees, so a lone
-    /// job gets the whole fabric and a full queue splits it evenly.
+    /// trees from `alloc` (reset by the caller) as it goes. Tree shares
+    /// rebalance to the visible queue depth: with `k` admission slots
+    /// still open and `f` free trees, the next job receives
+    /// `max(min_trees, f / k)` trees, so a lone job gets the whole fabric
+    /// and a full queue splits it evenly.
     ///
     /// Waves are homogeneous in collective: the first job admitted fixes
     /// the wave's kind (one engine run executes one collective), and
     /// jobs of other kinds stay pending for a later wave.
-    fn admit_wave(
+    ///
+    /// Admitted indices are removed from `pending`. This is the
+    /// wave-admission hook the fabric manager drives directly; calling it
+    /// never executes anything.
+    pub fn plan_wave(
         &self,
         specs: &[JobSpec],
         pending: &mut Vec<usize>,
         now: u64,
-        max_comb: &mut u32,
-    ) -> Vec<Admitted> {
+        alloc: &mut TreeAllocator,
+    ) -> WaveAdmission {
         let cfg = &self.cfg;
-        let mut alloc = TreeAllocator::new(self.plan);
-        let mut admitted: Vec<Admitted> = Vec::new();
+        let mut admitted: Vec<AdmittedJob> = Vec::new();
         let horizon = now.saturating_add(cfg.lookahead);
         let mut wave_kind: Option<Collective> = None;
 
@@ -314,14 +389,13 @@ impl<'a> Scheduler<'a> {
             let trees = alloc.allocate(want).expect("want ≤ free by construction");
 
             pending.retain(|&i| i != chosen);
-            admitted.push(Admitted {
+            admitted.push(AdmittedJob {
                 idx: chosen,
                 trees,
                 release: specs[chosen].arrival.saturating_sub(now),
             });
         }
-        *max_comb = (*max_comb).max(alloc.max_combined());
-        admitted
+        WaveAdmission { jobs: admitted, max_combined_congestion: alloc.max_combined() }
     }
 
     /// Runs one wave (with fault handling) and fills the job records.
@@ -332,30 +406,24 @@ impl<'a> Scheduler<'a> {
         w: &Workload,
         specs: &[JobSpec],
         global_off: &[u64],
-        admitted: &[Admitted],
+        admission: &WaveAdmission,
         kind: Collective,
         base: u64,
         schedule: Option<&FaultSchedule>,
+        plans: &mut dyn PlanProvider,
         records: &mut [Option<JobRecord>],
         waves: &mut Vec<WaveRecord>,
-    ) -> Result<u64, String> {
+    ) -> Result<u64, SchedError> {
         let cfg = &self.cfg;
+        let admitted = &admission.jobs;
         let wave_index = waves.len() as u32;
         let wsched = schedule.map(|s| rebase_schedule(s, base)).filter(|s| !s.is_empty());
-        let max_comb_wave = {
-            let mut a = TreeAllocator::new(self.plan);
-            for adm in admitted {
-                // Re-derive this wave's combined congestion for the record.
-                let got = a.allocate(adm.trees.len()).expect("trees were allocatable");
-                debug_assert_eq!(got, adm.trees);
-            }
-            a.max_combined()
-        };
+        let max_comb_wave = admission.max_combined_congestion;
 
         // `to_run` shrinks only on fault recovery: jobs whose trees used a
         // detected link leave through `run_with_recovery`, the rest re-run
         // untouched (same trees, same releases, same time base).
-        let mut to_run: Vec<&Admitted> = admitted.iter().collect();
+        let mut to_run: Vec<&AdmittedJob> = admitted.iter().collect();
         let mut wave_cycles = 0u64;
         let mut wave_trace: Option<TraceReport> = None;
         let mut wave_job_ids: Vec<u32> = admitted.iter().map(|a| specs[a.idx].id).collect();
@@ -363,7 +431,7 @@ impl<'a> Scheduler<'a> {
 
         while !to_run.is_empty() {
             let (emb_trees, sizes, offsets, bindings) =
-                self.wave_embedding(specs, global_off, &to_run);
+                self.wave_embedding(specs, global_off, &to_run, plans);
             let emb = pf_simnet::MultiTreeEmbedding::with_offsets(
                 &self.plan.graph,
                 &emb_trees,
@@ -400,15 +468,13 @@ impl<'a> Scheduler<'a> {
             }
 
             if !run.faults.aborted {
-                return Err(format!(
-                    "wave {wave_index} exhausted max_cycles without completing"
-                ));
+                return Err(SchedError::WaveStalled { wave: wave_index });
             }
 
             // Fault detection aborted the wave. Split the tenants.
             let detected = run.faults.detected();
-            let mut survivors: Vec<&Admitted> = Vec::new();
-            let mut hit: Vec<&Admitted> = Vec::new();
+            let mut survivors: Vec<&AdmittedJob> = Vec::new();
+            let mut hit: Vec<&AdmittedJob> = Vec::new();
             for adm in &to_run {
                 let affected = !detected.routers.is_empty()
                     || self.job_uses_edge(&adm.trees, &detected.edges);
@@ -419,19 +485,18 @@ impl<'a> Scheduler<'a> {
                 }
             }
             if hit.is_empty() {
-                return Err(format!(
-                    "wave {wave_index} aborted on a fault no tenant's trees use"
-                ));
+                return Err(SchedError::PhantomFault { wave: wave_index });
             }
             let ws = wsched
                 .as_ref()
                 .expect("detection implies an attached schedule");
             for adm in hit {
-                let sub = self.plan.tree_subset(&adm.trees);
+                let sub = plans.subset(self.plan, &adm.trees);
                 let outcome =
                     run_collective_with_recovery(&sub, specs[adm.idx].elems, cfg.sim, ws, kind)
-                        .map_err(|e| {
-                            format!("recovery of job {} failed: {e}", specs[adm.idx].id)
+                        .map_err(|e| SchedError::Recovery {
+                            job: specs[adm.idx].id,
+                            source: e,
                         })?;
                 let cost = adm.release + outcome.total_cycles;
                 wave_cycles = wave_cycles.max(cost);
@@ -479,7 +544,8 @@ impl<'a> Scheduler<'a> {
         &self,
         specs: &[JobSpec],
         global_off: &[u64],
-        to_run: &[&Admitted],
+        to_run: &[&AdmittedJob],
+        plans: &mut dyn PlanProvider,
     ) -> (Vec<RootedTree>, Vec<u64>, Vec<u64>, Vec<JobBinding>) {
         let mut emb_trees = Vec::new();
         let mut sizes = Vec::new();
@@ -487,7 +553,7 @@ impl<'a> Scheduler<'a> {
         let mut bindings = Vec::new();
         let mut tstart = 0usize;
         for adm in to_run {
-            let sub = self.plan.tree_subset(&adm.trees);
+            let sub = plans.subset(self.plan, &adm.trees);
             let split = sub.split(specs[adm.idx].elems);
             let mut off = global_off[adm.idx];
             for (t, &len) in sub.trees.iter().zip(&split) {
@@ -516,39 +582,47 @@ impl<'a> Scheduler<'a> {
     }
 }
 
-fn validate(specs: &[JobSpec], cfg: &SchedConfig, plan: &AllreducePlan) -> Result<(), String> {
+/// Checks one spec against a plan's fabric, independent of any batch:
+/// non-empty vector, sane participant set. This is what the fabric
+/// manager runs at submit time so a bad spec is rejected at the front
+/// door instead of failing a whole epoch (uniqueness of ids is a batch
+/// property and stays with the batch validation).
+pub fn validate_spec(spec: &JobSpec, plan: &AllreducePlan) -> Result<(), SchedError> {
+    if spec.elems == 0 {
+        return Err(SchedError::EmptyVector(spec.id));
+    }
+    if let Some(p) = &spec.participants {
+        if p.is_empty() {
+            return Err(SchedError::EmptyParticipants(spec.id));
+        }
+        let n = plan.graph.num_vertices();
+        if let Some(&bad) = p.iter().find(|&&v| v >= n) {
+            return Err(SchedError::ParticipantOutOfRange {
+                job: spec.id,
+                participant: bad,
+                nodes: n,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn validate(specs: &[JobSpec], cfg: &SchedConfig, plan: &AllreducePlan) -> Result<(), SchedError> {
     if specs.is_empty() {
-        return Err("no jobs submitted".into());
+        return Err(SchedError::NoJobs);
     }
     if cfg.max_concurrent == 0 {
-        return Err("max_concurrent must be at least 1".into());
+        return Err(SchedError::ZeroConcurrency);
     }
     if cfg.min_trees == 0 || cfg.min_trees > plan.trees.len() {
-        return Err(format!(
-            "min_trees must be in 1..={} (the plan's tree count)",
-            plan.trees.len()
-        ));
+        return Err(SchedError::BadMinTrees { max: plan.trees.len() });
     }
-    let n = plan.graph.num_vertices();
     let mut ids = std::collections::BTreeSet::new();
     for s in specs {
         if !ids.insert(s.id) {
-            return Err(format!("duplicate job id {}", s.id));
+            return Err(SchedError::DuplicateJobId(s.id));
         }
-        if s.elems == 0 {
-            return Err(format!("job {} has an empty vector", s.id));
-        }
-        if let Some(p) = &s.participants {
-            if p.is_empty() {
-                return Err(format!("job {} has an empty participant set", s.id));
-            }
-            if let Some(&bad) = p.iter().find(|&&v| v >= n) {
-                return Err(format!(
-                    "job {}: participant {bad} out of range (fabric has {n} nodes)",
-                    s.id
-                ));
-            }
-        }
+        validate_spec(s, plan)?;
     }
     Ok(())
 }

@@ -29,7 +29,7 @@ use crate::embedding::MultiTreeEmbedding;
 use crate::engine::{SimConfig, SimReport, Simulator};
 use crate::trace::FaultTraceRow;
 use crate::workload::Workload;
-use pf_allreduce::recovery::{rebuild_degraded, DegradedPlan, FaultSet};
+use pf_allreduce::recovery::{rebuild_degraded, DegradedPlan, FaultSet, RebuildError};
 use pf_allreduce::{AllreducePlan, Rational};
 use pf_graph::{EdgeId, Graph, VertexId};
 use rand::rngs::StdRng;
@@ -629,6 +629,57 @@ fn translate_schedule(schedule: &FaultSchedule, d: &DegradedPlan) -> FaultSchedu
     }
 }
 
+/// Why a recovery loop failed. `Display` text is stable — it matches the
+/// strings the old `Result<_, String>` API produced, so logs and
+/// downstream formatting don't churn.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The final attempt completed but produced wrong values.
+    Mismatches(u64),
+    /// An attempt aborted without the fault layer detecting anything
+    /// (typically `max_cycles` exhausted).
+    Undetected,
+    /// The accumulated faults left no plan to rebuild on.
+    Rebuild(RebuildError),
+    /// The detect→rebuild→re-run loop exceeded its attempt budget.
+    NoConvergence {
+        /// The attempt budget that was exhausted.
+        attempts: usize,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Mismatches(n) => {
+                write!(f, "completed with {n} mismatched elements")
+            }
+            RecoveryError::Undetected => {
+                write!(f, "run aborted without detecting a fault (max_cycles exhausted?)")
+            }
+            RecoveryError::Rebuild(e) => write!(f, "{e}"),
+            RecoveryError::NoConvergence { attempts } => {
+                write!(f, "recovery did not converge within {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoveryError::Rebuild(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RebuildError> for RecoveryError {
+    fn from(e: RebuildError) -> Self {
+        RecoveryError::Rebuild(e)
+    }
+}
+
 /// Runs the allreduce of an `m`-element vector under `schedule`,
 /// rebuilding a degraded plan and re-running on every detection, until an
 /// attempt completes (see module docs).
@@ -645,7 +696,7 @@ pub fn run_with_recovery(
     m: u64,
     cfg: SimConfig,
     schedule: &FaultSchedule,
-) -> Result<RecoveryOutcome, String> {
+) -> Result<RecoveryOutcome, RecoveryError> {
     run_collective_with_recovery(plan, m, cfg, schedule, crate::engine::Collective::Allreduce)
 }
 
@@ -658,7 +709,7 @@ pub fn run_collective_with_recovery(
     cfg: SimConfig,
     schedule: &FaultSchedule,
     kind: crate::engine::Collective,
-) -> Result<RecoveryOutcome, String> {
+) -> Result<RecoveryOutcome, RecoveryError> {
     let mut fault_set = FaultSet::none();
     let mut degraded: Option<DegradedPlan> = None;
     let mut rounds: Vec<RecoveryRound> = Vec::new();
@@ -703,13 +754,13 @@ pub fn run_collective_with_recovery(
 
         if completed {
             if mismatches != 0 {
-                return Err(format!("completed with {mismatches} mismatched elements"));
+                return Err(RecoveryError::Mismatches(mismatches));
             }
             return Ok(RecoveryOutcome { rounds, fault_set, degraded, total_cycles });
         }
         let newly = &rounds.last().expect("just pushed").newly_detected;
         if newly.is_empty() {
-            return Err("run aborted without detecting a fault (max_cycles exhausted?)".into());
+            return Err(RecoveryError::Undetected);
         }
         fault_set.edges.extend(&newly.edges);
         fault_set.routers.extend(&newly.routers);
@@ -717,9 +768,9 @@ pub fn run_collective_with_recovery(
         fault_set.edges.dedup();
         fault_set.routers.sort_unstable();
         fault_set.routers.dedup();
-        degraded = Some(rebuild_degraded(plan, &fault_set).map_err(|e| e.to_string())?);
+        degraded = Some(rebuild_degraded(plan, &fault_set)?);
     }
-    Err(format!("recovery did not converge within {max_rounds} attempts"))
+    Err(RecoveryError::NoConvergence { attempts: max_rounds })
 }
 
 #[cfg(test)]

@@ -61,7 +61,7 @@ pub use engine::{
 };
 pub use faults::{
     run_collective_with_recovery, run_with_recovery, DetectionConfig, FaultEvent, FaultKind,
-    FaultReport, FaultSchedule, FaultTarget, RecoveryOutcome, RecoveryRound,
+    FaultReport, FaultSchedule, FaultTarget, RecoveryError, RecoveryOutcome, RecoveryRound,
 };
 pub use trace::{FaultTraceRow, JobTraceRow, TraceConfig, TraceReport};
 pub use workload::{JobSegment, ReduceKind, Workload};

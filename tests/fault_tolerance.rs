@@ -287,5 +287,5 @@ fn recovery_surfaces_partition_as_error() {
     let schedule = FaultSchedule::permanent_links(&cut, 30);
     let err = run_with_recovery(plan, 400, SimConfig::default(), &schedule)
         .expect_err("an isolated router can never complete the collective");
-    assert!(err.contains("partition"), "unexpected recovery error: {err}");
+    assert!(err.to_string().contains("partition"), "unexpected recovery error: {err}");
 }
