@@ -25,6 +25,7 @@
 //!   perf-snapshot   engine throughput vs the reference stepper -> JSON
 //!   sched-sweep     multi-tenant offered-load sweep -> BENCH_sched.json
 //!   fabric-sweep    fabric-manager throughput sweep + soak -> BENCH_fabric.json
+//!   capacity        fleet x construction x policy planner -> BENCH_capacity.json
 //!   collectives     sharded-training collectives vs host rings -> JSON
 //!   all             everything above
 //! ```
@@ -153,6 +154,23 @@ fn main() {
                 std::path::Path::new(out),
             );
         }
+        "capacity" => {
+            let out = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str)
+                .unwrap_or("BENCH_capacity.json");
+            let defaults = pf_bench::capacity::CapacityParams::default();
+            let p = pf_bench::capacity::CapacityParams {
+                fleet_min: opt_u64("--fleet-min", defaults.fleet_min as u64) as u32,
+                fleet_max: opt_u64("--fleet-max", defaults.fleet_max as u64) as u32,
+                fault_budget: opt_u64("--faults", defaults.fault_budget as u64) as u32,
+                jobs: opt_u64("--jobs", defaults.jobs as u64) as u32,
+                seed: opt_u64("--seed", defaults.seed),
+            };
+            pf_bench::capacity::print_capacity(&p, std::path::Path::new(out));
+        }
         "evenq-search" => sims::print_evenq_search(opt_u64("--attempts", 500) as usize),
         "topo-compare" => pf_bench::topo_compare::print_topo_compare(flag("--full")),
         "torus-compare" => sims::print_torus_compare(opt_u64("--m", 200_000)),
@@ -191,7 +209,7 @@ fn main() {
             eprintln!("known: table1 fig1 fig2 table2 fig4 fig5a fig5b disjoint-sweep totient");
             eprintln!(
                 "       sim-bandwidth sim-crossover sim-split sim-buffers perf-snapshot \
-                 sched-sweep fabric-sweep collectives all"
+                 sched-sweep fabric-sweep capacity collectives all"
             );
             std::process::exit(2);
         }
@@ -223,6 +241,7 @@ fn main() {
             "sim-faults",
             "sched-sweep",
             "fabric-sweep",
+            "capacity",
             "collectives",
             "evenq-search",
             "topo-compare",

@@ -5,6 +5,7 @@
 //! table the paper reports. The `experiments` binary dispatches on a
 //! subcommand per artifact — see DESIGN.md's per-experiment index.
 
+pub mod capacity;
 pub mod collectives;
 pub mod csv;
 pub mod fabric_sweep;

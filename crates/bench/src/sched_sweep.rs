@@ -110,7 +110,7 @@ fn run_point(plan: &AllreducePlan, policy: Policy, load: LoadLevel, n: u32, seed
         jobs: r.jobs.len(),
         waves: r.waves.len(),
         makespan: r.makespan,
-        goodput: r.total_elems as f64 / r.makespan.max(1) as f64,
+        goodput: r.goodput(),
         max_combined_congestion: r.max_combined_congestion,
         congestion_bound: r.congestion_bound,
         fairness: r.fairness,

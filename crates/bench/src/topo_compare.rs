@@ -10,19 +10,28 @@
 //! * the Algorithm 1 aggregate bandwidth `Σ B_i`, in exact rationals;
 //! * the substrate-generic bound `min(|E|/(n−1), δ_min)`
 //!   ([`pf_allreduce::perf::substrate_bandwidth_bound`]) it must respect;
+//! * the exact rate bound `min(|E|/(n−1), λ(G))`
+//!   ([`pf_allreduce::rate::allreduce_rate_bound`], see `docs/RATES.md`)
+//!   and the optimality gap `Σ B_i / rate bound` — as an exact rational
+//!   and a float rendering (`1` = the construction is certified
+//!   rate-optimal on that substrate);
 //! * measured worst-case link congestion next to the backend's claimed
 //!   bound (Theorem 7.6 gives 2 for low-depth, Theorem 7.19 gives 1 for
 //!   edge-disjoint sets; `-` when the backend claims nothing).
 //!
 //! Everything is deterministic — same catalog, same seeds, same
 //! tie-breaking — so two runs print byte-identical tables (pinned by
-//! `rows_are_deterministic`). Pass `--full` to sweep the nightly catalog
-//! instead (all paper radices q ∈ {3, 5, 7, 9, 11} and both labelings).
+//! `rows_are_deterministic` and the golden fixture in
+//! `tests/golden_topo_compare.rs`). Pass `--full` to sweep the nightly
+//! catalog instead (all paper radices q ∈ {3, 5, 7, 9, 11} and both
+//! labelings).
 
 use pf_allreduce::plan::AllreducePlan;
+use pf_allreduce::rate::allreduce_rate_bound;
 use pf_allreduce::rational::Rational;
-use pf_allreduce::substrates::{backends_for, full_catalog, quick_catalog};
+use pf_allreduce::substrates::{backends_for, closed_form_rate_bound, full_catalog, quick_catalog};
 use pf_allreduce::{Budget, ConstructError};
+use std::fmt::Write as _;
 
 /// One backend × substrate line of the table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,8 +50,12 @@ pub struct TopoCompareRow {
     pub depth: u32,
     /// Algorithm 1 aggregate bandwidth `Σ B_i`.
     pub aggregate: Rational,
-    /// The substrate-generic aggregate bound.
+    /// The substrate-generic aggregate bound `min(|E|/(n−1), δ_min)`.
     pub bound: Rational,
+    /// The exact rate bound `min(|E|/(n−1), λ(G))` — never above `bound`.
+    pub rate_bound: Rational,
+    /// Optimality gap `aggregate / rate_bound ∈ (0, 1]`, exact.
+    pub gap: Rational,
     /// Measured worst-case link congestion.
     pub max_congestion: u32,
     /// The backend's claimed congestion bound, when it has one.
@@ -56,6 +69,16 @@ pub fn topo_compare_rows(full: bool) -> Vec<TopoCompareRow> {
     let catalog = if full { full_catalog() } else { quick_catalog() };
     let mut rows = Vec::new();
     for sub in &catalog {
+        // One min-cut run per substrate; every backend row reuses it.
+        let rate = allreduce_rate_bound(&sub.graph)
+            .unwrap_or_else(|e| panic!("{}: {e}", sub.name));
+        if let Some(closed) = closed_form_rate_bound(&sub.name) {
+            assert_eq!(
+                rate.bound, closed,
+                "{}: generic rate bound disagrees with the closed form",
+                sub.name
+            );
+        }
         for backend in backends_for(&sub.name) {
             let plan =
                 match AllreducePlan::construct(&sub.graph, backend.as_ref(), &Budget::unlimited())
@@ -65,9 +88,14 @@ pub fn topo_compare_rows(full: bool) -> Vec<TopoCompareRow> {
                     Err(e) => panic!("{} on {}: {e}", backend.name(), sub.name),
                 };
             assert!(
-                plan.aggregate <= plan.substrate_bound(),
-                "{} on {}: aggregate beats the substrate bound",
+                rate.certifies(plan.aggregate),
+                "{} on {}: aggregate beats the rate bound",
                 backend.name(),
+                sub.name
+            );
+            assert!(
+                rate.bound <= plan.substrate_bound(),
+                "{}: rate bound must refine the substrate bound",
                 sub.name
             );
             if let Some(bound) = backend.congestion_bound() {
@@ -87,6 +115,8 @@ pub fn topo_compare_rows(full: bool) -> Vec<TopoCompareRow> {
                 depth: plan.depth,
                 aggregate: plan.aggregate,
                 bound: plan.substrate_bound(),
+                rate_bound: rate.bound,
+                gap: rate.gap(plan.aggregate),
                 max_congestion: plan.max_congestion,
                 congestion_bound: backend.congestion_bound(),
             });
@@ -95,18 +125,23 @@ pub fn topo_compare_rows(full: bool) -> Vec<TopoCompareRow> {
     rows
 }
 
-/// Prints the table.
-pub fn print_topo_compare(full: bool) {
-    crate::print_header("topology-agnostic construction comparison");
+/// Renders the full table (header, rows, legend) as one string — the
+/// golden fixture in `tests/golden_topo_compare.rs` pins this byte for
+/// byte, and [`print_topo_compare`] prints it.
+pub fn render_topo_compare(full: bool) -> String {
     let rows = topo_compare_rows(full);
-    println!(
-        "{:<16} {:>5} {:>5}  {:<14} {:>5} {:>5} {:>10} {:>10} {:>5} {:>6}",
-        "substrate", "n", "|E|", "construction", "trees", "depth", "agg bw", "bound", "cong",
-        "claim"
-    );
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<16} {:>5} {:>5}  {:<14} {:>5} {:>5} {:>10} {:>10} {:>8} {:>9} {:>7} {:>5} {:>6}",
+        "substrate", "n", "|E|", "construction", "trees", "depth", "agg bw", "bound", "rate bd",
+        "gap", "gap~", "cong", "claim"
+    )
+    .unwrap();
     for r in &rows {
-        println!(
-            "{:<16} {:>5} {:>5}  {:<14} {:>5} {:>5} {:>10} {:>10} {:>5} {:>6}",
+        writeln!(
+            out,
+            "{:<16} {:>5} {:>5}  {:<14} {:>5} {:>5} {:>10} {:>10} {:>8} {:>9} {:>7.4} {:>5} {:>6}",
             r.substrate,
             r.vertices,
             r.edges,
@@ -115,17 +150,36 @@ pub fn print_topo_compare(full: bool) {
             r.depth,
             r.aggregate.to_string(),
             r.bound.to_string(),
+            r.rate_bound.to_string(),
+            r.gap.to_string(),
+            r.gap.to_f64(),
             r.max_congestion,
             r.congestion_bound.map_or_else(|| "-".to_string(), |c| c.to_string()),
-        );
+        )
+        .unwrap();
     }
-    println!(
-        "\n(agg bw = Algorithm 1 aggregate Σ B_i in exact rationals; bound = min(|E|/(n−1), δ_min);"
+    out.push_str(
+        "\n(agg bw = Algorithm 1 aggregate Σ B_i in exact rationals; \
+         bound = min(|E|/(n−1), δ_min);\n",
     );
-    println!(
-        " cong = measured worst-case link congestion; claim = the backend's guaranteed bound —"
+    out.push_str(
+        " rate bd = min(|E|/(n−1), λ(G)) — the exact rate upper bound, docs/RATES.md; \
+         gap = agg bw / rate bd\n",
     );
-    println!(" Theorem 7.6 gives 2 for low-depth trees, Theorem 7.19 gives 1 for disjoint sets)");
+    out.push_str(
+        " as an exact rational, gap~ its float rendering, 1 = certified rate-optimal;\n",
+    );
+    out.push_str(
+        " cong = measured worst-case link congestion; claim = the backend's guaranteed bound —\n",
+    );
+    out.push_str(" Theorem 7.6 gives 2 for low-depth trees, Theorem 7.19 gives 1 for disjoint sets)\n");
+    out
+}
+
+/// Prints the table.
+pub fn print_topo_compare(full: bool) {
+    crate::print_header("topology-agnostic construction comparison");
+    print!("{}", render_topo_compare(full));
 }
 
 #[cfg(test)]
@@ -155,5 +209,15 @@ mod tests {
         assert!(rows.iter().any(|r| r.backend == "low-depth"));
         assert!(rows.iter().any(|r| r.backend == "star-disjoint"));
         assert!(rows.iter().any(|r| r.backend == "kary-multitree"));
+    }
+
+    #[test]
+    fn gap_columns_are_well_formed() {
+        for r in topo_compare_rows(false) {
+            assert!(r.rate_bound <= r.bound, "{}: rate bound must refine", r.substrate);
+            assert!(r.gap.is_positive(), "{}/{}", r.substrate, r.backend);
+            assert!(r.gap <= Rational::ONE, "{}/{}", r.substrate, r.backend);
+            assert_eq!(r.gap * r.rate_bound, r.aggregate, "{}/{}", r.substrate, r.backend);
+        }
     }
 }

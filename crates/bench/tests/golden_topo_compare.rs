@@ -1,0 +1,57 @@
+//! Golden fixture for the `experiments topo-compare` table.
+//!
+//! The quick-tier table — substrate × construction rows with the exact
+//! rate bound and optimality-gap columns (`docs/RATES.md`) — is committed
+//! at `tests/golden/topo_compare_quick.txt` and must reproduce byte for
+//! byte. Any change to the catalog, a backend's tie-breaking, Algorithm 1
+//! pricing, the min-cut computation, or the rendering shows up as a byte
+//! diff; if the change is intentional, regenerate (and review the diff)
+//! with
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p pf-bench --test golden_topo_compare
+//! ```
+
+use pf_bench::topo_compare::render_topo_compare;
+use std::path::{Path, PathBuf};
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/topo_compare_quick.txt")
+}
+
+#[test]
+fn quick_table_matches_the_golden_fixture() {
+    let produced = render_topo_compare(false);
+    let path = golden_path();
+
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&path, &produced).expect("write golden fixture");
+        return;
+    }
+
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {} ({e}); regenerate with GOLDEN_REGEN=1", path.display())
+    });
+    assert_eq!(
+        produced.into_bytes(),
+        committed.into_bytes(),
+        "topo-compare table diverged from {}; if intentional, regenerate with GOLDEN_REGEN=1 \
+         and review the diff",
+        path.display()
+    );
+}
+
+#[test]
+fn fixture_carries_the_gap_columns() {
+    // Guard the fixture's shape, not just its bytes: the header names the
+    // rate-bound and gap columns, and the certified-optimal rows (the
+    // edge-disjoint star-product construction, gap 1) are present.
+    let table = render_topo_compare(false);
+    let header = table.lines().next().expect("non-empty table");
+    for col in ["rate bd", "gap", "gap~"] {
+        assert!(header.contains(col), "missing column {col}");
+    }
+    assert!(table.contains("star-disjoint"), "star-product rows missing");
+    assert!(table.lines().count() > 20, "suspiciously small table");
+}

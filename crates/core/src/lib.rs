@@ -31,6 +31,10 @@
 //! * [`substrates`] — the named substrate catalog the construction
 //!   harness, paper-claims invariants and `experiments topo-compare`
 //!   share;
+//! * [`rate`] — exact-rational allreduce rate upper bounds
+//!   (edge budget ∧ global min cut) for any substrate, with closed forms
+//!   for the known families; every plan's `aggregate ≤ rate_bound()` is a
+//!   standing paper-claims invariant (see `docs/RATES.md`);
 //! * [`plan`] — the high-level [`plan::AllreducePlan`] facade tying it all
 //!   together (see [`plan::AllreducePlan::construct`] for the
 //!   backend-driven path).
@@ -62,6 +66,7 @@ pub mod logical;
 pub mod lowdepth;
 pub mod perf;
 pub mod plan;
+pub mod rate;
 pub mod rational;
 pub mod recovery;
 pub mod starprod;
@@ -73,6 +78,7 @@ pub use construction::{
     PolarFlyLowDepth, TreeConstruction,
 };
 pub use plan::{AllreducePlan, Solution};
+pub use rate::{allreduce_rate_bound, global_min_cut, RateBound, RateError, RateLimiter};
 pub use rational::Rational;
 pub use fingerprint::{graph_fingerprint, plan_fingerprint};
 pub use recovery::{extend_degraded, rebuild_degraded, DegradedPlan, FaultSet, RebuildError};

@@ -27,6 +27,12 @@ use pf_graph::Graph;
 /// (`tests/paper_claims.rs`). Returns zero for graphs with fewer than two
 /// vertices (no plan exists there; see
 /// [`crate::construction::ConstructError::TooSmall`]).
+///
+/// [`crate::rate::allreduce_rate_bound`] tightens this bound by replacing
+/// the singleton-cut term `δ_min` with the true global min cut `λ(G)`
+/// (and reports typed errors instead of zero on degenerate graphs); the
+/// rate bound is never above this one, so invariants asserted here
+/// transfer.
 pub fn substrate_bandwidth_bound(g: &Graph) -> Rational {
     let n = g.num_vertices() as i64;
     if n < 2 {

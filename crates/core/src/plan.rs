@@ -166,6 +166,27 @@ impl AllreducePlan {
         perf::substrate_bandwidth_bound(&self.graph)
     }
 
+    /// Exact allreduce rate upper bound for this plan's substrate
+    /// ([`crate::rate::allreduce_rate_bound`]): `min(|E|/(n−1), λ(G))` in
+    /// exact rationals. Tightens [`AllreducePlan::substrate_bound`]
+    /// (global min cut instead of `δ_min`); `aggregate ≤ rate_bound()` is
+    /// the standing paper-claims invariant for every plan on every
+    /// substrate (see `docs/RATES.md`).
+    pub fn rate_bound(&self) -> Rational {
+        crate::rate::allreduce_rate_bound(&self.graph)
+            .expect("plans only exist on connected substrates with >= 2 vertices")
+            .bound
+    }
+
+    /// Optimality gap `aggregate / rate_bound() ∈ (0, 1]` as an exact
+    /// rational — 1 means the plan is certified rate-optimal (the
+    /// edge-disjoint Hamiltonian plans at odd `q` land exactly here).
+    pub fn optimality_gap(&self) -> Rational {
+        crate::rate::allreduce_rate_bound(&self.graph)
+            .expect("plans only exist on connected substrates with >= 2 vertices")
+            .gap(self.aggregate)
+    }
+
     /// A plan over a subset of this plan's trees (by strictly increasing
     /// tree index), on the same graph — the tree allocator's per-tenant
     /// view of the fabric. Bandwidths and per-edge congestion are

@@ -132,6 +132,37 @@ pub fn full_catalog() -> Vec<Substrate> {
     cat
 }
 
+/// The known closed-form rate bound for the catalog substrate with this
+/// name, keyed the same way [`backends_for`] is: `polarfly-q*`/`singer-q*`
+/// (isomorphic, Theorem 6.6) get the Corollary 7.1 optimum `(q+1)/2`,
+/// `torus-AxBx...` gets `k·n/(n−1)`, `hypercube-d` gets `d·2^(d−1)/(2^d−1)`
+/// and `complete-kN` gets `n/2`. `None` for families without a published
+/// closed form (random, products, bridged cliques) — there the generic
+/// [`crate::rate::allreduce_rate_bound`] is the only bound. The harness
+/// asserts the generic computation reproduces every `Some` exactly.
+pub fn closed_form_rate_bound(name: &str) -> Option<crate::rational::Rational> {
+    use crate::rate;
+    if let Some(q) = name
+        .strip_prefix("polarfly-q")
+        .or_else(|| name.strip_prefix("singer-q"))
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        return Some(rate::polarfly_bound(q));
+    }
+    if let Some(dims) = name.strip_prefix("torus-").map(|s| {
+        s.split('x').map(|d| d.parse::<u32>().ok()).collect::<Option<Vec<_>>>()
+    }) {
+        return Some(rate::torus_bound(&dims?));
+    }
+    if let Some(d) = name.strip_prefix("hypercube-").and_then(|s| s.parse::<u32>().ok()) {
+        return Some(rate::hypercube_bound(d));
+    }
+    if let Some(n) = name.strip_prefix("complete-k").and_then(|s| s.parse::<u32>().ok()) {
+        return Some(rate::complete_bound(n));
+    }
+    None
+}
+
 /// The backends applicable to the catalog substrate with this name: the
 /// three generic backends always, plus the specializations keyed by name —
 /// `polarfly-q*` gets the low-depth construction, `singer-q*` the
@@ -197,6 +228,19 @@ mod tests {
         let bridge = g.edge_id(3, 4).unwrap();
         let cut = pf_graph::edge_deleted(&g, &[bridge]);
         assert!(!bfs::is_connected(&cut.graph));
+    }
+
+    #[test]
+    fn closed_forms_cover_the_expected_families() {
+        use crate::rate;
+        assert_eq!(closed_form_rate_bound("polarfly-q5"), Some(rate::polarfly_bound(5)));
+        assert_eq!(closed_form_rate_bound("singer-q7"), Some(rate::polarfly_bound(7)));
+        assert_eq!(closed_form_rate_bound("torus-3x3x3"), Some(rate::torus_bound(&[3, 3, 3])));
+        assert_eq!(closed_form_rate_bound("hypercube-4"), Some(rate::hypercube_bound(4)));
+        assert_eq!(closed_form_rate_bound("complete-k8"), Some(rate::complete_bound(8)));
+        for generic in ["er-n20", "star-c4xk4", "cart-c5xk4", "bridged-k5", "petersen"] {
+            assert_eq!(closed_form_rate_bound(generic), None, "{generic}");
+        }
     }
 
     #[test]

@@ -5,7 +5,9 @@ use pf_allreduce::congestion::assign_unit_bandwidth;
 use pf_allreduce::disjoint::{conflict_graph, find_edge_disjoint};
 use pf_allreduce::hamiltonian::{alternating_path, hamiltonian_pairs_unordered};
 use pf_allreduce::lowdepth::low_depth_trees;
-use pf_allreduce::{perf, verify, Rational};
+use pf_allreduce::rate::allreduce_rate_bound;
+use pf_allreduce::recovery::{extend_degraded, rebuild_degraded, FaultSet};
+use pf_allreduce::{perf, verify, AllreducePlan, Rational};
 use pf_graph::tree::pairwise_edge_disjoint;
 use pf_topo::{PolarFly, Singer};
 use proptest::prelude::*;
@@ -92,6 +94,54 @@ proptest! {
         let hop = Rational::from_int(4);
         let (lo, hi) = (m1.min(m2), m1.max(m2));
         prop_assert!(plan.predicted_time(lo, hop) <= plan.predicted_time(hi, hop));
+    }
+
+    #[test]
+    fn tree_subsets_never_exceed_the_full_plan_rate_bound(q in odd_q(), mask in 1u64..2048) {
+        // A tenant's subset plan prices fewer trees on the same substrate,
+        // so the full plan's exact rate bound must still dominate it —
+        // and the subset's own bound is the same (same graph).
+        let plan = AllreducePlan::low_depth(q).unwrap();
+        let bound = plan.rate_bound();
+        let idx: Vec<usize> =
+            (0..plan.trees.len()).filter(|i| mask >> i & 1 == 1).collect();
+        prop_assume!(!idx.is_empty());
+        let sub = plan.tree_subset(&idx);
+        prop_assert!(sub.aggregate <= bound);
+        prop_assert_eq!(sub.rate_bound(), bound);
+        prop_assert!(sub.optimality_gap() <= Rational::ONE);
+    }
+
+    #[test]
+    fn degraded_plans_respect_the_surviving_rate_bound(
+        q in odd_q(),
+        nf in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        // Fault random links, rebuild, and recompute the rate bound on
+        // the surviving subgraph: the degraded plan must respect it. Then
+        // extend with one more fault and check again on the incremental
+        // path.
+        use rand::{Rng, SeedableRng};
+        let plan = AllreducePlan::low_depth(q).unwrap();
+        let ne = plan.graph.num_edges();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut edges: Vec<u32> = (0..nf).map(|_| rng.random_range(0..ne)).collect();
+        edges.sort_unstable();
+        edges.dedup();
+        let faults = FaultSet::links(edges.clone());
+        // PolarFly at these radices survives ≤ 3 link faults.
+        let d = rebuild_degraded(&plan, &faults).unwrap();
+        let rate = allreduce_rate_bound(&d.graph).unwrap();
+        prop_assert!(rate.certifies(d.aggregate));
+        prop_assert!(rate.bound <= plan.rate_bound());
+        let extra = (0..ne).find(|x| !edges.contains(x)).unwrap();
+        let delta = FaultSet::links(vec![extra]);
+        if let Some(d2) = extend_degraded(&plan, &faults, &d, &delta) {
+            let rate2 = allreduce_rate_bound(&d2.graph).unwrap();
+            prop_assert!(rate2.certifies(d2.aggregate));
+            prop_assert!(rate2.bound <= rate.bound);
+        }
     }
 
     #[test]

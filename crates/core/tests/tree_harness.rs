@@ -13,6 +13,11 @@
 //! * **water-filling**: Algorithm 1 shares in exact rationals — per-edge
 //!   load `Σ B_i ≤ 1`, every tree saturates some link, and the aggregate
 //!   respects the substrate-generic bound `min(|E|/(n−1), δ_min)`;
+//! * **rate bound**: the aggregate also respects the tighter exact rate
+//!   bound `min(|E|/(n−1), λ(G))` (`pf_allreduce::rate`, docs/RATES.md),
+//!   the rate bound refines the substrate bound, and on substrate
+//!   families with a published closed form the generic computation
+//!   reproduces it exactly;
 //! * **budget & determinism**: tree caps are honored and rebuilding is
 //!   byte-identical.
 //!
@@ -25,9 +30,11 @@ use pf_allreduce::congestion::assign_unit_bandwidth;
 use pf_allreduce::perf::substrate_bandwidth_bound;
 use pf_allreduce::plan::AllreducePlan;
 use pf_allreduce::rational::Rational;
+use pf_allreduce::rate::{allreduce_rate_bound, RateError};
 use pf_allreduce::recovery::{rebuild_degraded, FaultSet};
 use pf_allreduce::substrates::{
-    backends_for, bridged_cliques, full_catalog, quick_catalog, Substrate,
+    backends_for, bridged_cliques, closed_form_rate_bound, erdos_renyi_connected, full_catalog,
+    quick_catalog, Substrate,
 };
 use pf_allreduce::{Budget, ConstructError, GreedyPeel, KaryMultitree, TreeConstruction};
 use pf_graph::dsu::Dsu;
@@ -113,6 +120,26 @@ fn check_pair(b: &dyn TreeConstruction, sub: &Substrate) -> bool {
         substrate_bandwidth_bound(g)
     );
 
+    // The exact rate bound (edge budget ∧ global min cut) must also hold,
+    // refine the substrate bound, and agree with the family's closed form
+    // where one is known.
+    let rate = allreduce_rate_bound(g).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    assert!(
+        rate.certifies(a.aggregate()),
+        "{ctx}: aggregate {} beats the rate bound {}",
+        a.aggregate(),
+        rate.bound
+    );
+    assert!(
+        rate.bound <= substrate_bandwidth_bound(g),
+        "{ctx}: rate bound {} must refine the substrate bound {}",
+        rate.bound,
+        substrate_bandwidth_bound(g)
+    );
+    if let Some(closed) = closed_form_rate_bound(&sub.name) {
+        assert_eq!(rate.bound, closed, "{ctx}: closed-form rate bound mismatch");
+    }
+
     // Budget cap and determinism.
     let one = b.build(g, &Budget::trees(1)).expect("budgeted build");
     assert_eq!(one.len(), 1, "{ctx}: budget cap ignored");
@@ -161,6 +188,76 @@ fn specializations_run_somewhere_in_the_full_catalog() {
             .count();
         assert!(executed >= 4, "{name}: its specialization did not run");
     }
+}
+
+/// Runs the full harness (including the rate-bound clause in
+/// `check_pair`) over seeded-random ER substrates: the bound must
+/// dominate every constructed plan on graphs nobody hand-tuned.
+fn run_random_substrates(shapes: &[(u32, u32)], seeds: std::ops::Range<u64>) {
+    for &(n, extra) in shapes {
+        for seed in seeds.clone() {
+            let sub = Substrate {
+                name: format!("er-n{n}-e{extra}-s{seed}"),
+                graph: erdos_renyi_connected(n, extra, seed),
+            };
+            let mut ran = 0;
+            for b in backends_for(&sub.name) {
+                if check_pair(b.as_ref(), &sub) {
+                    ran += 1;
+                }
+            }
+            assert!(ran >= 3, "{}: fewer than the generic backends ran", sub.name);
+        }
+    }
+}
+
+#[test]
+fn random_substrates_respect_the_rate_bound_quick() {
+    run_random_substrates(&[(12, 10), (20, 30)], 0..4);
+}
+
+#[test]
+#[ignore = "nightly: wide seeded-random substrate sweep"]
+fn random_substrates_respect_the_rate_bound_full() {
+    run_random_substrates(&[(8, 6), (16, 20), (24, 40), (32, 24), (40, 90), (48, 60)], 0..12);
+}
+
+#[test]
+fn deleted_bridge_is_a_typed_disconnection_everywhere() {
+    // The two-clique bridge graph with its bridge deleted: every backend
+    // reports Disconnected{2} (not a panic, not a bogus tree set), and
+    // the rate module refuses to price it the same way.
+    let g = bridged_cliques(5);
+    let bridge = g.edge_id(4, 5).expect("bridge edge");
+    let cut = pf_graph::edge_deleted(&g, &[bridge]).graph;
+    for b in backends_for("bridged-k5") {
+        assert_eq!(
+            b.build(&cut, &Budget::unlimited()).unwrap_err(),
+            ConstructError::Disconnected { components: 2 },
+            "{}",
+            b.name()
+        );
+    }
+    assert_eq!(
+        allreduce_rate_bound(&cut).unwrap_err(),
+        RateError::Disconnected { components: 2 }
+    );
+}
+
+#[test]
+fn degenerate_graphs_get_typed_rate_errors_not_bogus_bounds() {
+    // Mirrors degenerate_substrates_stay_typed_across_all_backends for
+    // the rate module: where no plan exists, no bound exists either.
+    assert_eq!(allreduce_rate_bound(&Graph::new(0)).unwrap_err(), RateError::EmptyGraph);
+    assert_eq!(allreduce_rate_bound(&Graph::new(1)).unwrap_err(), RateError::SingleVertex);
+    let mut split = Graph::new(5);
+    split.add_edge(0, 1);
+    split.add_edge(1, 2);
+    split.add_edge(3, 4);
+    assert_eq!(
+        allreduce_rate_bound(&split).unwrap_err(),
+        RateError::Disconnected { components: 2 }
+    );
 }
 
 #[test]

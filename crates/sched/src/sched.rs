@@ -137,6 +137,19 @@ impl SchedReport {
     pub fn digest(&self) -> u64 {
         self.jobs.iter().fold(FNV_OFFSET, fold_job_digest)
     }
+
+    /// Goodput in elements per cycle: total finished work over the
+    /// makespan. The single figure of merit the policy×load sweep and the
+    /// capacity planner (`experiments capacity`) rank configurations by;
+    /// keeping it here makes every consumer price a report identically.
+    /// A zero makespan (empty job stream) prices as zero goodput.
+    #[must_use]
+    pub fn goodput(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.total_elems as f64 / self.makespan as f64
+    }
 }
 
 /// Folds one finished job into a rolling report digest (see

@@ -475,6 +475,80 @@ fn every_construction_respects_the_substrate_bandwidth_bound() {
 }
 
 #[test]
+fn every_construction_respects_the_exact_rate_bound() {
+    // The standing rate-optimality invariant (docs/RATES.md): on every
+    // catalog substrate, the Algorithm 1 aggregate of every construction
+    // is capped by the exact rate upper bound min(|E|/(n−1), λ(G)) — the
+    // edge-budget argument meets the cut-set argument (every spanning
+    // tree crosses every cut, so Σ B_i ≤ |∂S| for all S, hence ≤ the
+    // global min cut). This refines the δ_min-based substrate bound
+    // above; all comparisons in exact rationals. The nightly full-catalog
+    // sweep runs the same clause over all paper radices via the tree
+    // harness.
+    use pf_allreduce::plan::AllreducePlan;
+    use pf_allreduce::rate::allreduce_rate_bound;
+    use pf_allreduce::substrates::{backends_for, closed_form_rate_bound, quick_catalog};
+    use pf_allreduce::{Budget, ConstructError};
+
+    let mut checked = 0;
+    for sub in &quick_catalog() {
+        let rate = allreduce_rate_bound(&sub.graph).unwrap_or_else(|e| panic!("{}: {e}", sub.name));
+        if let Some(closed) = closed_form_rate_bound(&sub.name) {
+            assert_eq!(rate.bound, closed, "{}: closed form disagrees", sub.name);
+        }
+        for backend in backends_for(&sub.name) {
+            let plan =
+                match AllreducePlan::construct(&sub.graph, backend.as_ref(), &Budget::unlimited())
+                {
+                    Ok(plan) => plan,
+                    Err(ConstructError::UnsupportedSubstrate(_)) => continue,
+                    Err(e) => panic!("{} on {}: {e}", backend.name(), sub.name),
+                };
+            assert!(
+                rate.certifies(plan.aggregate),
+                "{} on {}: aggregate {} beats the rate bound {}",
+                backend.name(),
+                sub.name,
+                plan.aggregate,
+                rate.bound
+            );
+            assert!(rate.bound <= plan.substrate_bound(), "{}", sub.name);
+            assert_eq!(plan.rate_bound(), rate.bound, "{}", sub.name);
+            let gap = plan.optimality_gap();
+            assert!(gap.is_positive() && gap <= Rational::ONE, "{}: gap {gap}", sub.name);
+            checked += 1;
+        }
+    }
+    assert!(checked >= 15, "only {checked} backend × substrate pairs ran");
+}
+
+#[test]
+fn polarfly_rate_bound_is_the_corollary_7_1_optimum_and_disjoint_plans_reach_it() {
+    // On ER_q the generic rate bound lands exactly on (q+1)/2: the edge
+    // budget q(q+1)²/2 / (q²+q) reduces to it and the min cut λ = q sits
+    // above. The paper's edge-disjoint Hamiltonian plans at odd q achieve
+    // floor((q+1)/2) trees at unit bandwidth each — for odd q that IS the
+    // bound, so their optimality gap is exactly 1: the plans are
+    // certified rate-optimal, not merely bound-respecting.
+    use pf_allreduce::plan::AllreducePlan;
+    use pf_allreduce::rate::{allreduce_rate_bound, polarfly_bound};
+
+    for q in [3u64, 5, 7, 11] {
+        let pf = PolarFly::new(q);
+        let rate = allreduce_rate_bound(pf.graph()).unwrap();
+        assert_eq!(rate.bound, polarfly_bound(q), "q={q}");
+        assert_eq!(rate.bound, perf::optimal_bandwidth(q, Rational::ONE), "q={q}");
+        assert_eq!(rate.min_cut, q, "q={q}: min cut is the quadric degree");
+
+        let ham = AllreducePlan::edge_disjoint(q, 30, 0xC0FFEE).unwrap();
+        assert_eq!(ham.optimality_gap(), Rational::ONE, "q={q}: disjoint plans are optimal");
+        // The low-depth plans price at q/2 against (q+1)/2: gap q/(q+1).
+        let low = AllreducePlan::low_depth(q).unwrap();
+        assert_eq!(low.optimality_gap(), Rational::new(q as i64, q as i64 + 1), "q={q}");
+    }
+}
+
+#[test]
 fn section_7_3_non_hamiltonian_paths_exist_iff_n_composite() {
     for q in ALL_QS {
         let s = Singer::new(q);
